@@ -1,0 +1,85 @@
+#include "bench_util.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+namespace gnnie::bench {
+
+double BenchOptions::scale_for(const DatasetSpec& spec) const {
+  switch (spec.id) {
+    case DatasetId::kPpi:
+    case DatasetId::kReddit:
+      return large_scale;
+    default:
+      return 1.0;
+  }
+}
+
+BenchOptions parse_options(int argc, char** argv) {
+  BenchOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--scale=", 0) == 0) {
+      opt.large_scale = std::strtod(arg.c_str() + 8, nullptr);
+      if (opt.large_scale <= 0.0 || opt.large_scale > 1.0) {
+        throw std::invalid_argument("--scale must be in (0, 1]");
+      }
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      opt.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--datasets=", 0) == 0) {
+      std::string list = arg.substr(11);
+      std::size_t pos = 0;
+      while (pos != std::string::npos) {
+        std::size_t comma = list.find(',', pos);
+        std::string item = list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+        if (!item.empty()) opt.datasets.push_back(item);
+        pos = comma == std::string::npos ? comma : comma + 1;
+      }
+    } else {
+      throw std::invalid_argument("unknown flag: " + arg +
+                                  " (expected --scale=, --seed=, --datasets=)");
+    }
+  }
+  return opt;
+}
+
+std::string scale_note(const DatasetSpec& spec, double scale) {
+  if (scale >= 1.0) return spec.short_name;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s (scale %.3g)", spec.short_name.c_str(), scale);
+  return buf;
+}
+
+void print_banner(const std::string& experiment, const std::string& claim) {
+  std::printf("==========================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("paper claim: %s\n", claim.c_str());
+  std::printf("==========================================================================\n");
+}
+
+Workload make_workload(const DatasetSpec& spec, double scale, GnnKind kind,
+                       std::uint64_t seed) {
+  Workload w;
+  w.data = generate_dataset(spec.scaled(scale), seed);
+  w.model.kind = kind;
+  w.model.input_dim = w.data.spec.feature_length;
+  w.model.hidden_dim = 128;  // Table III
+  w.model.num_layers = 2;
+  w.model.sample_size = 25;
+  w.weights = init_weights(w.model, seed + 1);
+  if (kind == GnnKind::kGraphSage) {
+    for (std::uint32_t l = 0; l < w.model.num_layers; ++l) {
+      w.sampled.push_back(sample_neighborhood(w.data.graph, w.model.sample_size, seed + 10 + l));
+    }
+  }
+  return w;
+}
+
+InferenceReport run_gnnie(const Workload& w, const EngineConfig& cfg) {
+  GnnieEngine engine(cfg);
+  return engine.run(w.model, w.weights, w.data.graph, w.data.features, w.sampled).report;
+}
+
+}  // namespace gnnie::bench

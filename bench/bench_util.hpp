@@ -1,0 +1,55 @@
+// Shared helpers for the figure/table bench binaries: flag parsing
+// (--scale, --seed, --datasets) and paper-vs-measured reporting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "datasets/spec.hpp"
+#include "datasets/synthetic.hpp"
+#include "nn/layers.hpp"
+#include "nn/model.hpp"
+
+namespace gnnie::bench {
+
+struct BenchOptions {
+  /// Scale factor applied to the large datasets (PPI, Reddit); the citation
+  /// graphs (CR, CS, PB) always run full-size — they are laptop-friendly and
+  /// most paper figures use exactly those three.
+  double large_scale = 0.05;
+  std::uint64_t seed = 1;
+  /// Short names to run (empty = the bench's default set).
+  std::vector<std::string> datasets;
+
+  /// Effective scale for one dataset (1.0 for CR/CS/PB).
+  double scale_for(const DatasetSpec& spec) const;
+};
+
+/// Parses --scale=<f>, --seed=<n>, --datasets=CR,CS (unknown flags fatal).
+BenchOptions parse_options(int argc, char** argv);
+
+/// "dataset (scale 0.05)" annotation used in bench headers.
+std::string scale_note(const DatasetSpec& spec, double scale);
+
+/// Prints the standard bench banner: figure/table id + claim being checked.
+void print_banner(const std::string& experiment, const std::string& claim);
+
+/// A dataset + model + weights bundle ready to run on any engine/baseline.
+struct Workload {
+  Dataset data;
+  ModelConfig model;
+  GnnWeights weights;
+  std::vector<Csr> sampled;  ///< per-layer sampled adjacency (GraphSAGE)
+};
+
+/// Builds the Table III configuration (hidden 128, 2 layers, sample 25) for
+/// a dataset at `scale`.
+Workload make_workload(const DatasetSpec& spec, double scale, GnnKind kind,
+                       std::uint64_t seed);
+
+/// Runs GNNIE and returns the report (output discarded).
+InferenceReport run_gnnie(const Workload& w, const EngineConfig& cfg);
+
+}  // namespace gnnie::bench

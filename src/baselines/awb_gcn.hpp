@@ -1,0 +1,55 @@
+// AWB-GCN cycle model (Geng et al., MICRO 2020) — the SpMM comparator of
+// Fig. 13. Built from its published design and the §VII critique:
+//   * GCN only: the computation is two chained SpMMs,
+//     S1 = X·W (ultra-sparse × dense) and S2 = Ã·S1.
+//   * 4096 MACs with runtime workload autotuning: utilization climbs over
+//     rebalancing rounds but the rebalancing itself is inter-PE
+//     communication overhead.
+//   * Graph-agnostic SpMM: the adjacency matrix streams from DRAM per
+//     output tile with no degree-aware reuse.
+#pragma once
+
+#include "common/units.hpp"
+#include "graph/csr.hpp"
+#include "nn/model.hpp"
+#include "sparse/sparse_matrix.hpp"
+
+namespace gnnie {
+
+struct AwbGcnConfig {
+  double clock_hz = 330.0e6;  ///< FPGA implementation frequency
+  std::uint32_t macs = 4096;
+  double balanced_utilization = 0.85;   ///< after autotuning converges
+  double rebalance_overhead = 0.10;     ///< inter-PE communication tax
+  double adjacency_refetch = 2.0;       ///< Ã streamed per SpMM tile pass
+  /// FPGA board DDR4 bandwidth (AWB-GCN is an FPGA implementation, not an
+  /// HBM part).
+  double dram_bandwidth = 19.0e9;
+  double power_w = 9.5;
+};
+
+struct AwbGcnReport {
+  Cycles spmm1_cycles = 0;  ///< X·W
+  Cycles spmm2_cycles = 0;  ///< Ã·(XW)
+  Cycles total_cycles = 0;
+  Bytes dram_bytes = 0;
+  Seconds runtime_seconds = 0.0;
+};
+
+class AwbGcnModel {
+ public:
+  explicit AwbGcnModel(AwbGcnConfig config = {});
+
+  static bool supports(GnnKind kind) { return kind == GnnKind::kGcn; }
+
+  /// Throws std::invalid_argument for anything but GCN (§VII).
+  AwbGcnReport run(const ModelConfig& model, const Csr& g,
+                   const SparseMatrix& features) const;
+
+  const AwbGcnConfig& config() const { return config_; }
+
+ private:
+  AwbGcnConfig config_;
+};
+
+}  // namespace gnnie

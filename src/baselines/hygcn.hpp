@@ -1,0 +1,64 @@
+// HyGCN cycle model (Yan et al., HPCA 2020) — the two-engine comparator of
+// Fig. 13. Built from its published architecture and the structural
+// disadvantages §VII identifies:
+//   * Aggregation engine (32 SIMD16 cores @ 1 GHz) consolidates neighbor
+//     features BEFORE combination, i.e. computes (Ã·H)·W — aggregation runs
+//     at the INPUT feature width, an order of magnitude more work than
+//     GNNIE's Ã·(H·W) for wide inputs.
+//   * Window sliding/shrinking sharding has limited reuse on highly sparse
+//     adjacency matrices, so a large share of neighbor traffic re-fetches.
+//   * Combination engine (systolic arrays) cannot skip input zeros; the
+//     inter-engine pipeline stalls on workload imbalance.
+// HyGCN supports GCN/GraphSAGE/GINConv but not GAT/DiffPool softmax.
+#pragma once
+
+#include "common/units.hpp"
+#include "graph/csr.hpp"
+#include "nn/model.hpp"
+#include "sparse/sparse_matrix.hpp"
+
+namespace gnnie {
+
+struct HygcnConfig {
+  double clock_hz = 1.0e9;
+  std::uint32_t simd_cores = 32;
+  std::uint32_t simd_width = 16;
+  std::uint32_t systolic_macs = 4608;     ///< combination engine (32×144)
+  double systolic_utilization = 0.65;     ///< no zero skipping, fill/drain
+  double window_reuse = 0.35;             ///< shard overlap reuse on sparse graphs
+  double pipeline_imbalance_penalty = 0.15;
+  double dram_bandwidth = 256.0e9;
+  /// Effective bandwidth fraction for neighbor gathers: irregular accesses
+  /// at cache-line granularity with row-buffer thrash (§VII's "random
+  /// memory access" critique of sharding on highly sparse adjacency).
+  double gather_efficiency = 0.15;
+  /// Window sliding/shrinking re-reads features across shards.
+  double shard_refetch = 2.0;
+  double power_w = 6.7;                   ///< reported, 12 nm
+};
+
+struct HygcnReport {
+  Cycles aggregation_cycles = 0;
+  Cycles combination_cycles = 0;
+  Cycles total_cycles = 0;
+  Bytes dram_bytes = 0;
+  Seconds runtime_seconds = 0.0;
+};
+
+class HygcnModel {
+ public:
+  explicit HygcnModel(HygcnConfig config = {});
+
+  static bool supports(GnnKind kind);
+
+  /// Predicts one inference; throws std::invalid_argument for GAT/DiffPool
+  /// (no softmax-over-neighborhood support — §VII).
+  HygcnReport run(const ModelConfig& model, const Csr& g, const SparseMatrix& features) const;
+
+  const HygcnConfig& config() const { return config_; }
+
+ private:
+  HygcnConfig config_;
+};
+
+}  // namespace gnnie

@@ -1,0 +1,123 @@
+#include "baselines/sw_platform.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace gnnie {
+
+SoftwarePlatformConfig SoftwarePlatformConfig::pyg_cpu() {
+  SoftwarePlatformConfig c;
+  c.name = "PyG-CPU (Xeon Gold 6132)";
+  // Effective PyG throughputs, not hardware peaks: the paper's PyG-CPU
+  // numbers imply a mostly single-threaded run with heavy framework
+  // overhead (their Cora GCN inference is ~seconds); scatter_add is
+  // memory-latency-bound.
+  c.dense_flops = 10e9;
+  c.edge_ops_per_s = 30e6;
+  c.special_ops_per_s = 80e6;
+  c.mem_bandwidth = 15e9;
+  c.layer_overhead_s = 8.0e-3;
+  c.sampling_ns_per_edge = 250.0;
+  return c;
+}
+
+SoftwarePlatformConfig SoftwarePlatformConfig::pyg_gpu() {
+  SoftwarePlatformConfig c;
+  c.name = "PyG-GPU (Tesla V100S)";
+  c.dense_flops = 9e12;
+  c.edge_ops_per_s = 8e9;
+  c.special_ops_per_s = 30e9;
+  c.mem_bandwidth = 700e9;
+  c.layer_overhead_s = 3.0e-4;
+  // Neighborhood sampling runs host-side in PyG (RNG + gather + transfer);
+  // the paper includes its cost and SAGE shows by far the largest GPU-side
+  // penalty in Fig. 12(b).
+  c.sampling_ns_per_edge = 1500.0;
+  return c;
+}
+
+SoftwareBaseline::SoftwareBaseline(SoftwarePlatformConfig config) : config_(std::move(config)) {
+  GNNIE_REQUIRE(config_.dense_flops > 0 && config_.edge_ops_per_s > 0 &&
+                    config_.special_ops_per_s > 0 && config_.mem_bandwidth > 0,
+                "software platform throughputs must be positive");
+}
+
+SoftwareCost SoftwareBaseline::cost(const ModelConfig& model, const Csr& g,
+                                    const SparseMatrix& features) const {
+  SoftwareCost c;
+  c.layers = model.num_layers;
+  const double v = g.vertex_count();
+  const double e = g.edge_count();
+  const double e_self = e + v;
+  const double f_out = model.hidden_dim;
+
+  double sampled_e = 0.0;
+  for (VertexId u = 0; u < g.vertex_count(); ++u) {
+    sampled_e += std::min<double>(g.degree(u), model.sample_size);
+  }
+
+  for (std::uint32_t l = 0; l < model.num_layers; ++l) {
+    const double f_in = model.layer_input_dim(l);
+    const double dense_xw = 2.0 * v * f_in * f_out;  // PyG runs dense GEMM
+    switch (model.kind) {
+      case GnnKind::kGcn:
+        // GCNConv: X·W first, propagate at F_out.
+        c.dense_flops += dense_xw;
+        c.edge_element_ops += e_self * f_out;
+        c.bytes_touched += e_self * f_out * 4.0;
+        break;
+      case GnnKind::kGraphSage:
+        // SAGEConv(pool): sample, transform, max-aggregate at F_out.
+        c.dense_flops += dense_xw;
+        c.edge_element_ops += (sampled_e + v) * f_out;
+        c.sampled_edges += sampled_e;
+        c.bytes_touched += (sampled_e + v) * f_out * 4.0;
+        break;
+      case GnnKind::kGat:
+        // GATConv: X·W, per-edge score + softmax + weighted propagate.
+        c.dense_flops += dense_xw + 2.0 * 2.0 * v * f_out;
+        c.edge_element_ops += e_self * f_out;
+        c.special_ops += 4.0 * e_self;  // add, LeakyReLU, exp, normalize
+        c.bytes_touched += e_self * (f_out + 2.0) * 4.0;
+        break;
+      case GnnKind::kGinConv:
+        // GINConv aggregates at the INPUT width, then runs the MLP.
+        c.edge_element_ops += e_self * f_in;
+        c.dense_flops += dense_xw + 2.0 * v * f_out * f_out;
+        c.bytes_touched += e_self * f_in * 4.0;
+        break;
+      case GnnKind::kDiffPool:
+        // Embedding + pooling GNNs (two GCN-shaped convs per level).
+        c.dense_flops += 2.0 * dense_xw;
+        c.edge_element_ops += 2.0 * e_self * f_out;
+        c.bytes_touched += 2.0 * e_self * f_out * 4.0;
+        break;
+    }
+  }
+  if (model.kind == GnnKind::kDiffPool) {
+    const double clusters = model.pool_clusters;
+    // Softmax(S), Xc = SᵀZ, Ac = Sᵀ(ÃS): GEMM-friendly — exactly why
+    // DiffPool shows the paper's smallest speedups (Fig. 12).
+    c.special_ops += 2.0 * v * clusters;
+    c.dense_flops += 2.0 * v * clusters * f_out + 2.0 * v * clusters * clusters;
+    c.edge_element_ops += e_self * clusters;
+    c.layers += 1;
+  }
+  // Input features touched once (PyG keeps them dense).
+  c.bytes_touched += v * static_cast<double>(features.col_count()) * 4.0;
+  return c;
+}
+
+Seconds SoftwareBaseline::predict_runtime(const ModelConfig& model, const Csr& g,
+                                          const SparseMatrix& features) const {
+  const SoftwareCost c = cost(model, g, features);
+  const double compute = c.dense_flops / config_.dense_flops +
+                         c.edge_element_ops / config_.edge_ops_per_s +
+                         c.special_ops / config_.special_ops_per_s;
+  const double memory = c.bytes_touched / config_.mem_bandwidth;
+  const double sampling = c.sampled_edges * config_.sampling_ns_per_edge * 1e-9;
+  return compute + memory + sampling + c.layers * config_.layer_overhead_s;
+}
+
+}  // namespace gnnie

@@ -1,0 +1,51 @@
+#include "common/alias_table.hpp"
+
+#include "common/require.hpp"
+
+namespace gnnie {
+
+AliasTable::AliasTable(std::span<const double> weights) {
+  GNNIE_REQUIRE(!weights.empty(), "alias table needs at least one weight");
+  double sum = 0.0;
+  for (double w : weights) {
+    GNNIE_REQUIRE(w >= 0.0, "weights must be non-negative");
+    sum += w;
+  }
+  GNNIE_REQUIRE(sum > 0.0, "weights must have a positive sum");
+
+  const std::size_t n = weights.size();
+  prob_.resize(n);
+  alias_.resize(n);
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) scaled[i] = weights[i] * static_cast<double>(n) / sum;
+
+  std::vector<std::uint32_t> small, large;
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    const std::uint32_t l = large.back();
+    small.pop_back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (std::uint32_t i : large) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+  for (std::uint32_t i : small) {  // numerical leftovers
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+}
+
+std::uint32_t AliasTable::sample(Rng& rng) const {
+  const auto i = static_cast<std::uint32_t>(rng.next_below(prob_.size()));
+  return rng.next_double() < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace gnnie

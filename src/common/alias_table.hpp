@@ -1,0 +1,30 @@
+// Walker/Vose alias method: O(1) sampling from an arbitrary discrete
+// distribution. Used by the Chung–Lu graph generator, where edge endpoints
+// are drawn proportionally to per-vertex power-law weights.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace gnnie {
+
+class AliasTable {
+ public:
+  /// weights must be non-empty with a positive sum; negative entries are
+  /// rejected.
+  explicit AliasTable(std::span<const double> weights);
+
+  std::size_t size() const { return prob_.size(); }
+
+  /// Draws an index with probability proportional to its weight.
+  std::uint32_t sample(Rng& rng) const;
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::uint32_t> alias_;
+};
+
+}  // namespace gnnie

@@ -1,0 +1,65 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/require.hpp"
+
+namespace gnnie {
+
+Histogram::Histogram(double lo, double hi, std::size_t bin_count)
+    : lo_(lo), hi_(hi), counts_(bin_count, 0) {
+  GNNIE_REQUIRE(hi > lo, "histogram range must be non-empty");
+  GNNIE_REQUIRE(bin_count > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double value) { add_count(value, 1); }
+
+void Histogram::add_count(double value, std::uint64_t count) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto idx = static_cast<std::int64_t>((value - lo_) / width);
+  idx = std::clamp<std::int64_t>(idx, 0, static_cast<std::int64_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(idx)] += count;
+  total_ += count;
+  weighted_sum_ += value * static_cast<double>(count);
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+
+std::uint64_t Histogram::peak() const {
+  return counts_.empty() ? 0 : *std::max_element(counts_.begin(), counts_.end());
+}
+
+double Histogram::max_nonempty_edge() const {
+  for (std::size_t i = counts_.size(); i > 0; --i) {
+    if (counts_[i - 1] > 0) return bin_hi(i - 1);
+  }
+  return lo_;
+}
+
+double Histogram::mean() const {
+  return total_ == 0 ? 0.0 : weighted_sum_ / static_cast<double>(total_);
+}
+
+std::string Histogram::render(std::size_t max_width) const {
+  std::ostringstream os;
+  const std::uint64_t pk = peak();
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "[%8.1f,%8.1f)", bin_lo(i), bin_hi(i));
+    std::size_t bar = pk == 0 ? 0
+                              : static_cast<std::size_t>(static_cast<double>(counts_[i]) /
+                                                         static_cast<double>(pk) *
+                                                         static_cast<double>(max_width));
+    os << label << ' ' << std::string(bar, '#') << ' ' << counts_[i] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace gnnie

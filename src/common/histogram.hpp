@@ -1,0 +1,44 @@
+// Fixed-bin histogram used to report distributions the paper plots:
+// feature-vector nonzeros (Fig. 2) and unprocessed-edge counts α per
+// cache Round (Fig. 10).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gnnie {
+
+class Histogram {
+ public:
+  /// Uniform bins covering [lo, hi); values outside are clamped to the
+  /// first/last bin so totals are preserved.
+  Histogram(double lo, double hi, std::size_t bin_count);
+
+  void add(double value);
+  void add_count(double value, std::uint64_t count);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  std::uint64_t bin(std::size_t i) const { return counts_.at(i); }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  std::uint64_t total() const { return total_; }
+
+  /// Largest count over all bins (the "peak frequency" of Fig. 10).
+  std::uint64_t peak() const;
+  /// Upper edge of the last non-empty bin (the "maximum α" of Fig. 10).
+  double max_nonempty_edge() const;
+  double mean() const;
+
+  /// ASCII bar rendering, one line per bin, for bench/report output.
+  std::string render(std::size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  double weighted_sum_ = 0.0;
+};
+
+}  // namespace gnnie

@@ -1,0 +1,41 @@
+// Precondition / invariant checking helpers.
+//
+// GNNIE_REQUIRE is an always-on precondition check (throws std::invalid_argument)
+// used at public API boundaries; GNNIE_ASSERT is an internal invariant check
+// (throws std::logic_error) that documents conditions the library itself must
+// maintain. Both throw rather than abort so tests can exercise failure paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gnnie {
+
+[[noreturn]] inline void require_failed(const char* expr, const char* file, int line,
+                                        const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void assert_failed(const char* expr, const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace gnnie
+
+#define GNNIE_REQUIRE(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) ::gnnie::require_failed(#cond, __FILE__, __LINE__, msg); \
+  } while (false)
+
+#define GNNIE_ASSERT(cond, msg)                                          \
+  do {                                                                   \
+    if (!(cond)) ::gnnie::assert_failed(#cond, __FILE__, __LINE__, msg); \
+  } while (false)

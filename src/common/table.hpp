@@ -1,0 +1,27 @@
+// Console table printer: all bench binaries report the paper's
+// rows/series through this so output stays aligned and diff-friendly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gnnie {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic cells with %g.
+  static std::string cell(double v);
+  static std::string cell(std::uint64_t v);
+
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gnnie

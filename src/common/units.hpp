@@ -1,0 +1,31 @@
+// Shared quantity aliases and formatting helpers.
+//
+// Cycle/byte/energy quantities flow through every report in the library;
+// keeping them as named aliases (rather than bare integers) documents intent
+// at interfaces without imposing wrapper-type friction on arithmetic-heavy
+// simulator code.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gnnie {
+
+using Cycles = std::uint64_t;
+using Bytes = std::uint64_t;
+using Ops = std::uint64_t;      ///< arithmetic operations (1 MAC = 2 ops)
+using Joules = double;
+using Seconds = double;
+
+/// "12.3 k", "4.56 M", "7.89 G" — for human-readable tables.
+std::string format_si(double value, int precision = 3);
+
+/// "1.23e+04" style for speedup tables that span many decades.
+std::string format_sci(double value, int precision = 2);
+
+/// Seconds from a cycle count at a clock frequency in Hz.
+inline Seconds cycles_to_seconds(Cycles c, double hz) {
+  return static_cast<double>(c) / hz;
+}
+
+}  // namespace gnnie

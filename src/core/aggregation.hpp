@@ -1,0 +1,101 @@
+// Edge Aggregation on the CPE array (§V-C) driven by the graph-specific
+// cache policy (§VI).
+//
+// Policy mode (CP): vertices live in DRAM in descending-degree-bin order
+// (degree_descending_order). The input buffer holds n of them — the current
+// *subgraph*. Each iteration processes every unprocessed edge whose
+// endpoints are both cached, decrementing each endpoint's unprocessed-edge count
+// α. Vertices with α < γ are evicted (dictionary order, r per iteration)
+// and replaced by the next vertices in the DRAM order; fully-processed
+// vertices and cache blocks are skipped. A pass over the whole order is a
+// Round (Fig. 10 histograms are recorded at Round boundaries). All DRAM
+// fetches walk forward through the layout — sequential by construction.
+//
+// Baseline mode (no CP, §VIII-E): vertices are processed in ID order and
+// each vertex pulls its neighbors' ηw on demand; misses in the FIFO-managed
+// input buffer become individual random DRAM reads.
+//
+// The engine is functional (produces the aggregated feature matrix for the
+// GNN kind at hand) and timed (cycles, DRAM traffic, α histograms).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "core/engine_config.hpp"
+#include "graph/csr.hpp"
+#include "mem/hbm.hpp"
+#include "nn/matrix.hpp"
+
+namespace gnnie {
+
+enum class AggKind {
+  kGcnNormalizedSum,  ///< Σ hw_j/√(d̃i·d̃j), self loop included (GCN)
+  kPlainSum,          ///< self_weight·hw_i + Σ hw_j (GIN with 1+ε, generic sum)
+  kMax,               ///< elementwise max over {i} ∪ N(i) (GraphSAGE pooling)
+  kGatSoftmax,        ///< softmax(LeakyReLU(e1_i + e2_j))-weighted sum (GAT)
+};
+
+struct AggregationTask {
+  const Csr* graph = nullptr;
+  /// Directed adjacency (GraphSAGE sampled neighborhoods): an edge u→w in
+  /// `graph` (w listed under u) contributes w's features to u only.
+  bool directed = false;
+  const Matrix* hw = nullptr;  ///< weighted features ηw, |V| × F
+  AggKind kind = AggKind::kPlainSum;
+  float self_weight = 1.0f;
+  /// GAT per-vertex, per-head attention partial products (Eq. 7), laid out
+  /// [v·heads + h]; required for kGatSoftmax.
+  const std::vector<float>* e1 = nullptr;
+  const std::vector<float>* e2 = nullptr;
+  std::uint32_t gat_heads = 1;
+  float leaky_slope = 0.2f;
+};
+
+struct AggregationReport {
+  Cycles compute_cycles = 0;
+  Cycles memory_cycles = 0;
+  Cycles total_cycles = 0;
+  std::uint64_t iterations = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t edges_processed = 0;       ///< undirected pairs (or directed edges)
+  std::uint64_t accum_ops = 0;             ///< F-wide accumulate operations
+  std::uint64_t sfu_ops = 0;               ///< exp/divide operations (GAT)
+  std::uint64_t dram_accesses = 0;
+  std::uint64_t random_dram_accesses = 0;  ///< on-demand misses (baseline mode)
+  Bytes dram_bytes = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t refetches = 0;             ///< vertices fetched after round 1
+  std::uint64_t partial_spills = 0;        ///< incomplete partials pushed to DRAM
+  std::uint64_t gamma_escalations = 0;     ///< dynamic-γ deadlock recoveries
+  /// True if the run fell back to the on-demand residue sweep (a full
+  /// Round made no progress — pathological γ / buffer combinations).
+  bool livelock_sweep = false;
+  std::uint32_t final_gamma = 0;
+  std::uint64_t cache_capacity_vertices = 0;
+  /// α histogram over cached vertices at each Round boundary (Fig. 10).
+  std::vector<Histogram> alpha_round_histograms;
+};
+
+class AggregationEngine {
+ public:
+  AggregationEngine(const EngineConfig& config, HbmModel* hbm, const DramLayout& layout = {});
+
+  /// Runs aggregation per the configured policy (config.opts.degree_aware_cache
+  /// selects CP vs ID-order baseline). Returns the aggregated matrix.
+  Matrix run(const AggregationTask& task, AggregationReport* report = nullptr);
+
+  /// Input-buffer capacity in vertices for a task (exposed for tests).
+  std::uint64_t cache_capacity(const AggregationTask& task) const;
+
+ private:
+  Matrix run_policy(const AggregationTask& task, AggregationReport& rep);
+  Matrix run_id_order_baseline(const AggregationTask& task, AggregationReport& rep);
+
+  const EngineConfig& config_;
+  HbmModel* hbm_;
+  DramLayout layout_;
+};
+
+}  // namespace gnnie

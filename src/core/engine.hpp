@@ -1,0 +1,78 @@
+// GnnieEngine: the full accelerator model. Runs a GNN (Table I/III) layer
+// by layer — Weighting on the CPE array, GAT attention, cache-driven edge
+// Aggregation, activation — producing both the functional output (validated
+// against nn/reference) and a per-phase cycle/DRAM report.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/aggregation.hpp"
+#include "core/attention.hpp"
+#include "core/engine_config.hpp"
+#include "core/weighting.hpp"
+#include "graph/csr.hpp"
+#include "mem/hbm.hpp"
+#include "nn/model.hpp"
+#include "sparse/sparse_matrix.hpp"
+
+namespace gnnie {
+
+struct LayerReport {
+  WeightingReport weighting;
+  std::optional<AttentionReport> attention;   // GAT only
+  std::optional<WeightingReport> mlp2;        // GIN second linear
+  AggregationReport aggregation;
+  Cycles activation_cycles = 0;
+  Cycles total_cycles = 0;
+};
+
+struct InferenceReport {
+  std::vector<LayerReport> layers;
+  Cycles total_cycles = 0;
+  double clock_hz = 0.0;
+  HbmStats dram;        ///< lifetime DRAM stats of this run
+  Joules dram_energy = 0.0;
+  std::uint64_t total_macs = 0;
+  std::uint64_t total_accum_ops = 0;
+  std::uint64_t total_sfu_ops = 0;
+
+  Seconds runtime_seconds() const { return cycles_to_seconds(total_cycles, clock_hz); }
+  /// Effective TOPS with the 1 MAC = 2 ops convention (Table IV).
+  double effective_tops() const;
+};
+
+struct InferenceResult {
+  Matrix output;
+  InferenceReport report;
+};
+
+class GnnieEngine {
+ public:
+  explicit GnnieEngine(EngineConfig config = EngineConfig::paper_default(true));
+
+  const EngineConfig& config() const { return config_; }
+  /// Peak TOPS of the configured array (Table IV "Peak").
+  double peak_tops() const;
+
+  /// Runs inference. GraphSAGE requires one sampled adjacency per layer
+  /// (sample_neighborhood), matching the reference-forward contract.
+  InferenceResult run(const ModelConfig& model, const GnnWeights& weights, const Csr& g,
+                      const SparseMatrix& x0, const std::vector<Csr>& sampled_per_layer = {});
+
+ private:
+  Matrix run_layer(const ModelConfig& model, const LayerWeights& lw, const Csr& g,
+                   const Csr* sampled, const Matrix* dense_in, const SparseMatrix* sparse_in,
+                   bool final_activation, LayerReport& lr);
+  Matrix run_diffpool(const ModelConfig& model, const GnnWeights& weights, const Csr& g,
+                      const SparseMatrix& x0, InferenceReport& rep);
+
+  Cycles activation_cost(std::size_t elements) const;
+
+  EngineConfig config_;
+  HbmModel hbm_;
+  DramLayout layout_;
+};
+
+}  // namespace gnnie

@@ -1,0 +1,26 @@
+#include "core/engine_config.hpp"
+
+#include "common/require.hpp"
+
+namespace gnnie {
+
+EngineConfig EngineConfig::paper_default(bool large_dataset) {
+  EngineConfig c;
+  c.buffers = BufferSizes::for_dataset(large_dataset);
+  c.validate();
+  return c;
+}
+
+void EngineConfig::validate() const {
+  array.validate();
+  GNNIE_REQUIRE(clock_hz > 0.0, "clock must be positive");
+  GNNIE_REQUIRE(weight_bytes >= 1 && weight_bytes <= 4, "weight precision 1–4 bytes");
+  GNNIE_REQUIRE(feature_bytes == 4, "feature path is FP32");
+  GNNIE_REQUIRE(sfu_lanes > 0, "need at least one SFU lane");
+  GNNIE_REQUIRE(cache.gamma >= 1, "γ must be at least 1");
+  GNNIE_REQUIRE(cache.replacement_fraction > 0.0 && cache.replacement_fraction <= 1.0,
+                "replacement fraction in (0,1]");
+  GNNIE_REQUIRE(cache.block_vertices >= 1, "cache blocks must hold at least one vertex");
+}
+
+}  // namespace gnnie

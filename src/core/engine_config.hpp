@@ -1,0 +1,99 @@
+// Top-level GNNIE configuration: the PE array design point, on-chip buffer
+// sizes, HBM parameters, and the optimization switches the paper ablates in
+// §VIII-E (CP = degree-aware cache policy, FM = flexible-MAC workload
+// binning, LR = load redistribution, LB = aggregation load balancing).
+#pragma once
+
+#include <cstdint>
+
+#include "arch/pe_array.hpp"
+#include "arch/sfu.hpp"
+#include "mem/buffers.hpp"
+#include "mem/hbm.hpp"
+
+namespace gnnie {
+
+struct OptimizationFlags {
+  /// Weighting: skip all-zero feature blocks via the zero-detection buffer.
+  bool zero_skip = true;
+  /// Weighting: FM workload binning — bin blocks by nnz and assign bins to
+  /// row groups by MAC capacity (§IV-C). Without it, block i of a vertex
+  /// maps to row i (feature-index order).
+  bool workload_binning = true;
+  /// Weighting: LR — offload blocks from heavy to light rows after FM.
+  bool load_redistribution = true;
+  /// Aggregation: degree-aware cache policy (CP, §VI). Without it the same
+  /// subgraph machinery runs with vertices laid out and fetched in ID order
+  /// (the §VIII-E baseline). See also CacheConfig::on_demand_baseline.
+  bool degree_aware_cache = true;
+  /// Aggregation: edge-level load balancing across CPEs (LB, §V-C).
+  /// Without it each vertex's aggregation runs on a single CPE.
+  bool aggregation_load_balance = true;
+
+  static OptimizationFlags all_on() { return {}; }
+  static OptimizationFlags all_off() {
+    return {false, false, false, false, false};
+  }
+};
+
+struct CacheConfig {
+  /// Eviction threshold γ: a cached vertex with fewer than γ unprocessed
+  /// edges is an eviction candidate (§VI; the paper uses a static γ = 5).
+  std::uint32_t gamma = 5;
+  /// Dynamic γ escalation on deadlock (the paper's proposed fallback).
+  bool dynamic_gamma = true;
+  /// Max replacements per iteration, as a fraction of cache capacity.
+  double replacement_fraction = 0.125;
+  /// Vertices per DRAM cache block (fully-processed blocks are skipped on
+  /// refetch, §VI).
+  std::uint32_t block_vertices = 8;
+  /// Input-buffer associativity (§VI/Fig. 9: a 4-way set-associative cache
+  /// controller). A fetched vertex maps to set (block % sets); a full set
+  /// forces an eviction within that set even when the γ rule finds no
+  /// candidate. 0 = fully associative (no placement constraint).
+  std::uint32_t associativity = 0;
+  /// When degree_aware_cache is off: use the HyGCN-style on-demand pull
+  /// engine (per-vertex neighbor fetches through an LRU input buffer,
+  /// random DRAM accesses on misses) instead of the ID-order subgraph
+  /// machinery. This is the "no caching at all" reference.
+  bool on_demand_baseline = false;
+};
+
+struct EngineConfig {
+  ArrayConfig array = ArrayConfig::design_e();
+  BufferSizes buffers = BufferSizes::for_dataset(true);
+  HbmConfig hbm;
+  SfuConfig sfu;
+  OptimizationFlags opts;
+  CacheConfig cache;
+  double clock_hz = 1.3e9;
+  /// Weight precision in bytes (§VIII-A sizes the weight buffer for 1-byte
+  /// weights); features/psums are 4-byte.
+  std::uint32_t weight_bytes = 1;
+  std::uint32_t feature_bytes = 4;
+  /// Number of SFU lanes (the array interleaves "multiple columns" of SFUs;
+  /// we model two columns' worth).
+  std::uint32_t sfu_lanes = 32;
+  /// LR overhead: cycles charged per redistributed block (weight reload
+  /// into the light row's spad).
+  double lr_cycles_per_block = 0.5;
+
+  /// Paper configuration for a dataset size (§VIII-A input buffer rule).
+  static EngineConfig paper_default(bool large_dataset);
+
+  void validate() const;
+};
+
+/// DRAM address map. Regions are spaced far apart so the HBM row-buffer
+/// model sees distinct rows per region; within a region the engine lays
+/// data out in *processing order*, which is what makes policy-mode fetches
+/// sequential.
+struct DramLayout {
+  std::uint64_t property_base = 0x0000'0000'0000ull;  ///< ηw + α (+ e1,e2 for GAT)
+  std::uint64_t adjacency_base = 0x0010'0000'0000ull; ///< offsets + coordinates
+  std::uint64_t weight_base = 0x0020'0000'0000ull;    ///< weight matrices
+  std::uint64_t feature_base = 0x0030'0000'0000ull;   ///< input features (RLC)
+  std::uint64_t output_base = 0x0040'0000'0000ull;    ///< results / psum spills
+};
+
+}  // namespace gnnie

@@ -1,0 +1,79 @@
+#include "core/report_io.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace gnnie {
+namespace {
+
+void write_weighting(std::ostream& out, const WeightingReport& rep) {
+  out << "{\"total_cycles\":" << rep.total_cycles
+      << ",\"compute_cycles\":" << rep.compute_cycles
+      << ",\"memory_cycles\":" << rep.memory_cycles
+      << ",\"stall_cycles\":" << rep.stall_cycles << ",\"passes\":" << rep.passes
+      << ",\"macs\":" << rep.macs << ",\"blocks_total\":" << rep.blocks_total
+      << ",\"blocks_skipped\":" << rep.blocks_skipped
+      << ",\"lr_moved_blocks\":" << rep.lr_moved_blocks << ",\"row_cycles\":[";
+  for (std::size_t r = 0; r < rep.row_cycles.size(); ++r) {
+    out << (r == 0 ? "" : ",") << rep.row_cycles[r];
+  }
+  out << "]}";
+}
+
+void write_aggregation(std::ostream& out, const AggregationReport& rep) {
+  out << "{\"total_cycles\":" << rep.total_cycles
+      << ",\"compute_cycles\":" << rep.compute_cycles
+      << ",\"memory_cycles\":" << rep.memory_cycles << ",\"iterations\":" << rep.iterations
+      << ",\"rounds\":" << rep.rounds << ",\"edges_processed\":" << rep.edges_processed
+      << ",\"accum_ops\":" << rep.accum_ops << ",\"sfu_ops\":" << rep.sfu_ops
+      << ",\"dram_accesses\":" << rep.dram_accesses
+      << ",\"random_dram_accesses\":" << rep.random_dram_accesses
+      << ",\"dram_bytes\":" << rep.dram_bytes << ",\"evictions\":" << rep.evictions
+      << ",\"refetches\":" << rep.refetches << ",\"partial_spills\":" << rep.partial_spills
+      << ",\"gamma_escalations\":" << rep.gamma_escalations
+      << ",\"livelock_sweep\":" << (rep.livelock_sweep ? "true" : "false")
+      << ",\"cache_capacity_vertices\":" << rep.cache_capacity_vertices << "}";
+}
+
+}  // namespace
+
+void write_report_json(std::ostream& out, const InferenceReport& report) {
+  out << "{\"total_cycles\":" << report.total_cycles << ",\"clock_hz\":" << report.clock_hz
+      << ",\"runtime_seconds\":" << report.runtime_seconds()
+      << ",\"effective_tops\":" << report.effective_tops()
+      << ",\"total_macs\":" << report.total_macs
+      << ",\"total_accum_ops\":" << report.total_accum_ops
+      << ",\"total_sfu_ops\":" << report.total_sfu_ops << ",\"dram\":{\"bytes_read\":"
+      << report.dram.bytes_read << ",\"bytes_written\":" << report.dram.bytes_written
+      << ",\"row_hit_rate\":" << report.dram.row_hit_rate()
+      << ",\"client_bytes\":[" << report.dram.client_bytes[0] << ','
+      << report.dram.client_bytes[1] << ',' << report.dram.client_bytes[2] << "]}"
+      << ",\"dram_energy_j\":" << report.dram_energy << ",\"layers\":[";
+  for (std::size_t l = 0; l < report.layers.size(); ++l) {
+    const LayerReport& lr = report.layers[l];
+    out << (l == 0 ? "" : ",") << "{\"total_cycles\":" << lr.total_cycles
+        << ",\"activation_cycles\":" << lr.activation_cycles << ",\"weighting\":";
+    write_weighting(out, lr.weighting);
+    if (lr.attention) {
+      out << ",\"attention\":{\"total_cycles\":" << lr.attention->total_cycles
+          << ",\"compute_cycles\":" << lr.attention->compute_cycles
+          << ",\"macs\":" << lr.attention->macs << "}";
+    }
+    if (lr.mlp2) {
+      out << ",\"mlp2\":";
+      write_weighting(out, *lr.mlp2);
+    }
+    out << ",\"aggregation\":";
+    write_aggregation(out, lr.aggregation);
+    out << "}";
+  }
+  out << "]}";
+}
+
+std::string report_to_json(const InferenceReport& report) {
+  std::ostringstream os;
+  write_report_json(os, report);
+  return os.str();
+}
+
+}  // namespace gnnie

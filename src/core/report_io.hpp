@@ -1,0 +1,17 @@
+// Report serialization: InferenceReport → JSON, for plotting pipelines and
+// external analysis of bench results.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/engine.hpp"
+
+namespace gnnie {
+
+/// Writes the full report (totals, per-layer phase breakdowns, DRAM stats)
+/// as a single JSON object.
+void write_report_json(std::ostream& out, const InferenceReport& report);
+std::string report_to_json(const InferenceReport& report);
+
+}  // namespace gnnie

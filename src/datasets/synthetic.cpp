@@ -1,0 +1,156 @@
+#include "datasets/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/alias_table.hpp"
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "graph/builder.hpp"
+
+namespace gnnie {
+namespace {
+
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t stream) {
+  return seed * 0x9e3779b97f4a7c15ULL + stream * 0xd1b54a32d192ed03ULL + 1;
+}
+
+std::uint64_t pair_key(VertexId u, VertexId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+Csr generate_graph(const DatasetSpec& spec, std::uint64_t seed) {
+  GNNIE_REQUIRE(spec.vertices >= 2, "graph generation needs at least two vertices");
+  const std::uint64_t max_pairs =
+      static_cast<std::uint64_t>(spec.vertices) * (spec.vertices - 1) / 2;
+  std::uint64_t target_pairs = std::min<std::uint64_t>(spec.edges / 2, max_pairs);
+  GNNIE_REQUIRE(target_pairs > 0, "edge target too small");
+
+  Rng rng(mix_seed(seed, 0xA11CE));
+
+  // Chung–Lu weights: heavy-tailed with the spec's exponent. The weight cap
+  // keeps expected multi-edge probability manageable for dense specs.
+  std::vector<double> weights(spec.vertices);
+  const auto w_hi = static_cast<std::uint64_t>(
+      std::max<double>(8.0, std::sqrt(static_cast<double>(target_pairs))));
+  for (double& w : weights) {
+    w = static_cast<double>(rng.next_power_law(1, w_hi, spec.degree_exponent));
+  }
+  const AliasTable endpoints(weights);
+
+  std::unordered_set<std::uint64_t> pairs;
+  pairs.reserve(static_cast<std::size_t>(target_pairs) * 2);
+  const std::uint64_t max_attempts = 64 * target_pairs + 1024;
+  std::uint64_t attempts = 0;
+  while (pairs.size() < target_pairs && attempts < max_attempts) {
+    ++attempts;
+    const VertexId u = endpoints.sample(rng);
+    const VertexId v = endpoints.sample(rng);
+    if (u == v) continue;
+    pairs.insert(pair_key(u, v));
+  }
+  // Near-clique corner (tiny scaled specs): fill deterministically.
+  if (pairs.size() < target_pairs) {
+    for (VertexId u = 0; u < spec.vertices && pairs.size() < target_pairs; ++u) {
+      for (VertexId v = u + 1; v < spec.vertices && pairs.size() < target_pairs; ++v) {
+        pairs.insert(pair_key(u, v));
+      }
+    }
+  }
+
+  GraphBuilder b(spec.vertices);
+  for (std::uint64_t key : pairs) {
+    b.add_edge(static_cast<VertexId>(key >> 32), static_cast<VertexId>(key & 0xffffffffu));
+  }
+  b.symmetrize();
+  // Vertex ids stay in arbitrary (weight-uncorrelated) order, like the
+  // dictionary ids of the Planetoid datasets — ID order carries no useful
+  // locality, which is exactly the regime GNNIE's degree-aware layout
+  // addresses.
+  return b.build();
+}
+
+SparseMatrix generate_features(const DatasetSpec& spec, std::uint64_t seed,
+                               const FeatureMixture& mix_in) {
+  FeatureMixture mix = mix_in;
+  if (mix.index_zipf_s < 0.0) mix.index_zipf_s = spec.feature_zipf_s;
+  GNNIE_REQUIRE(spec.feature_length > 0, "feature length must be positive");
+  GNNIE_REQUIRE(spec.feature_sparsity >= 0.0 && spec.feature_sparsity < 1.0,
+                "sparsity must be in [0,1)");
+  Rng rng(mix_seed(seed, 0xFEA7));
+
+  const double mean_nnz =
+      (1.0 - spec.feature_sparsity) * static_cast<double>(spec.feature_length);
+  // For dense specs (Reddit: 48% sparsity) the Region-B mode would clip at
+  // the feature length and drag the realized mean below target; pull B in
+  // and push A out so the mixture mean stays at 1.0× the target.
+  double center_b = mix.region_b_center;
+  const double max_center_b =
+      0.90 * static_cast<double>(spec.feature_length) / std::max(mean_nnz, 1.0);
+  if (center_b > max_center_b) {
+    center_b = max_center_b;
+    // w_a·c_a + (1-w_a)·c_b = 1.
+  }
+  const double center_a =
+      std::max(0.05, (1.0 - (1.0 - mix.region_a_weight) * center_b) / mix.region_a_weight);
+
+  // Zipfian feature popularity: index i carries weight (i+1)^-s, so
+  // low-index ranges are denser (bag-of-words frequent terms). Nonzero
+  // positions are drawn without replacement proportionally to these weights
+  // (Efraimidis–Vitter keys: top-z of log(u)/w).
+  // key_i = log(u)/w_i with w_i = (i+1)^-s, i.e. log(u)·(i+1)^s; log(u) is
+  // negative, so larger (i+1)^s → more negative key → less likely selected.
+  std::vector<double> recip_weight(spec.feature_length);
+  for (std::uint32_t i = 0; i < spec.feature_length; ++i) {
+    recip_weight[i] = std::pow(static_cast<double>(i) + 1.0, mix.index_zipf_s);
+  }
+
+  std::vector<SparseRow> rows;
+  rows.reserve(spec.vertices);
+  std::vector<std::pair<double, std::uint32_t>> keys(spec.feature_length);
+  for (std::uint32_t v = 0; v < spec.vertices; ++v) {
+    const bool region_a = rng.next_bool(mix.region_a_weight);
+    const double center = (region_a ? center_a : center_b) * mean_nnz;
+    const double drawn = center * (1.0 + mix.region_sigma * rng.next_gaussian());
+    // Clamp symmetrically around the center: one-sided truncation at the
+    // feature length would bias the realized mean (and thus the sparsity).
+    const double sigma_abs = mix.region_sigma * center;
+    const double delta = std::min({2.5 * sigma_abs,
+                                   static_cast<double>(spec.feature_length) - center, center});
+    const auto nnz = static_cast<std::uint32_t>(
+        std::clamp(drawn, center - delta, center + delta));
+
+    std::vector<std::uint32_t> idx(nnz);
+    if (nnz > 0) {
+      for (std::uint32_t i = 0; i < spec.feature_length; ++i) {
+        double u = rng.next_double();
+        if (u <= 0.0) u = 1e-300;
+        keys[i] = {std::log(u) * recip_weight[i], i};  // larger key = more likely
+      }
+      std::nth_element(keys.begin(), keys.begin() + nnz, keys.end(),
+                       [](const auto& a, const auto& b) { return a.first > b.first; });
+      for (std::uint32_t i = 0; i < nnz; ++i) idx[i] = keys[i].second;
+      std::sort(idx.begin(), idx.end());
+    }
+    std::vector<float> val(idx.size());
+    for (float& x : val) x = static_cast<float>(rng.next_double(0.1, 1.0));
+    rows.emplace_back(std::move(idx), std::move(val), spec.feature_length);
+  }
+  return SparseMatrix(std::move(rows), spec.feature_length);
+}
+
+Dataset generate_dataset(const DatasetSpec& spec, std::uint64_t seed) {
+  Dataset d{spec, generate_graph(spec, mix_seed(seed, 1)),
+            generate_features(spec, mix_seed(seed, 2))};
+  return d;
+}
+
+Dataset generate_dataset(DatasetId id, double scale, std::uint64_t seed) {
+  return generate_dataset(spec_of(id).scaled(scale), seed);
+}
+
+}  // namespace gnnie

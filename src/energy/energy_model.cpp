@@ -1,0 +1,59 @@
+#include "energy/energy_model.hpp"
+
+#include "common/require.hpp"
+
+namespace gnnie {
+
+Joules EnergyBreakdown::total() const {
+  return mac + sfu + spad + input_buffer + output_buffer + weight_buffer + dram_input +
+         dram_output + dram_weight + leakage;
+}
+
+Joules EnergyBreakdown::on_chip_total() const {
+  return mac + sfu + spad + input_buffer + output_buffer + weight_buffer + leakage;
+}
+
+EnergyBreakdown compute_energy(const InferenceReport& report, const EnergyParams& params) {
+  EnergyBreakdown e;
+  const double pj = 1e-12;
+
+  e.mac = static_cast<double>(report.total_macs) * params.mac_pj * pj;
+  e.sfu = static_cast<double>(report.total_sfu_ops) * params.sfu_op_pj * pj;
+  // Every MAC reads two operands from / writes one partial to its spads.
+  e.spad = static_cast<double>(report.total_macs) * 3.0 * params.spad_pj_per_byte * pj;
+
+  const auto client =
+      [&](MemClient c) { return static_cast<double>(report.dram.client_bytes[static_cast<std::size_t>(c)]); };
+  const double in_bytes = client(MemClient::kInput);
+  const double out_bytes = client(MemClient::kOutput);
+  const double w_bytes = client(MemClient::kWeight);
+
+  e.input_buffer = in_bytes * params.input_reuse * params.input_buffer_pj_per_byte * pj;
+  e.output_buffer = out_bytes * params.output_reuse * params.output_buffer_pj_per_byte * pj;
+  e.weight_buffer = w_bytes * params.weight_reuse * params.weight_buffer_pj_per_byte * pj;
+
+  e.dram_input = in_bytes * 8.0 * params.dram_pj_per_bit * pj;
+  e.dram_output = out_bytes * 8.0 * params.dram_pj_per_bit * pj;
+  e.dram_weight = w_bytes * 8.0 * params.dram_pj_per_bit * pj;
+
+  e.leakage = params.leakage_w * report.runtime_seconds();
+  return e;
+}
+
+double average_power_w(const EnergyBreakdown& e, const InferenceReport& report) {
+  const Seconds t = report.runtime_seconds();
+  GNNIE_REQUIRE(t > 0.0, "report has zero runtime");
+  return e.total() / t;
+}
+
+double inferences_per_kilojoule(const EnergyBreakdown& e) {
+  GNNIE_REQUIRE(e.total() > 0.0, "zero energy");
+  return 1000.0 / e.total();
+}
+
+double inferences_per_kilojoule(double power_w, Seconds runtime) {
+  GNNIE_REQUIRE(power_w > 0.0 && runtime > 0.0, "power and runtime must be positive");
+  return 1000.0 / (power_w * runtime);
+}
+
+}  // namespace gnnie

@@ -1,0 +1,32 @@
+#include "graph/csr.hpp"
+
+#include "common/require.hpp"
+
+namespace gnnie {
+
+Csr::Csr(std::vector<EdgeId> offsets, std::vector<VertexId> neighbors)
+    : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)) {
+  GNNIE_REQUIRE(!offsets_.empty(), "offset array must contain at least the terminator");
+  GNNIE_REQUIRE(offsets_.front() == 0, "offset array must start at 0");
+  GNNIE_REQUIRE(offsets_.back() == neighbors_.size(),
+                "offset terminator must equal the coordinate array length");
+  vertex_count_ = static_cast<VertexId>(offsets_.size() - 1);
+  for (std::size_t v = 0; v < vertex_count_; ++v) {
+    GNNIE_REQUIRE(offsets_[v] <= offsets_[v + 1], "offsets must be nondecreasing");
+  }
+  for (VertexId n : neighbors_) {
+    GNNIE_REQUIRE(n < vertex_count_, "neighbor id out of range");
+  }
+}
+
+double Csr::adjacency_sparsity() const {
+  if (vertex_count_ == 0) return 1.0;
+  const double cells = static_cast<double>(vertex_count_) * static_cast<double>(vertex_count_);
+  return 1.0 - static_cast<double>(edge_count()) / cells;
+}
+
+std::uint64_t Csr::storage_bytes() const {
+  return offsets_.size() * sizeof(EdgeId) + neighbors_.size() * sizeof(VertexId);
+}
+
+}  // namespace gnnie

@@ -1,0 +1,41 @@
+// Graph and feature-matrix serialization, so real datasets (Planetoid,
+// OGB exports, …) can be run through the engine instead of the synthetic
+// generators.
+//
+// Two formats:
+//  * Text edge lists — one "src dst" pair per line, '#' comments, the
+//    lingua franca of SNAP/Planetoid exports.
+//  * A binary container ("GNNIE1") bundling CSR arrays and the sparse
+//    feature matrix for fast reload.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/csr.hpp"
+#include "sparse/sparse_matrix.hpp"
+
+namespace gnnie {
+
+struct EdgeListOptions {
+  bool symmetrize = true;        ///< mirror every edge (undirected datasets)
+  bool remove_self_loops = true;
+  /// 0 = infer as max id + 1.
+  VertexId vertex_count = 0;
+};
+
+/// Parses "src dst" lines; '#'-prefixed lines and blank lines are skipped.
+/// Throws std::invalid_argument on malformed input.
+Csr read_edge_list(std::istream& in, const EdgeListOptions& options = {});
+Csr read_edge_list_file(const std::string& path, const EdgeListOptions& options = {});
+
+/// Writes one "src dst" line per directed edge.
+void write_edge_list(std::ostream& out, const Csr& g);
+
+/// Binary round trip for a graph + feature bundle.
+void write_binary(std::ostream& out, const Csr& g, const SparseMatrix& features);
+void read_binary(std::istream& in, Csr& g, SparseMatrix& features);
+void write_binary_file(const std::string& path, const Csr& g, const SparseMatrix& features);
+void read_binary_file(const std::string& path, Csr& g, SparseMatrix& features);
+
+}  // namespace gnnie

@@ -1,0 +1,49 @@
+#include "graph/reorder.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/require.hpp"
+
+namespace gnnie {
+
+std::vector<VertexId> degree_descending_order(const Csr& g) {
+  // Bin b holds degrees in [2^b, 2^(b+1)); bin 0 holds degree 0 and 1.
+  // One counting pass + one emission pass = linear time.
+  constexpr int kBins = 32;
+  std::vector<std::vector<VertexId>> bins(kBins);
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    const VertexId d = g.degree(v);
+    const int b = d <= 1 ? 0 : std::bit_width(d) - 1;
+    bins[static_cast<std::size_t>(b)].push_back(v);
+  }
+  std::vector<VertexId> order;
+  order.reserve(g.vertex_count());
+  for (int b = kBins - 1; b >= 0; --b) {
+    // push_back order is already ascending vertex id: dictionary tie-break.
+    for (VertexId v : bins[static_cast<std::size_t>(b)]) order.push_back(v);
+  }
+  return order;
+}
+
+std::vector<VertexId> exact_degree_order(const Csr& g) {
+  std::vector<VertexId> order(g.vertex_count());
+  for (VertexId v = 0; v < g.vertex_count(); ++v) order[v] = v;
+  std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return g.degree(a) > g.degree(b);
+  });
+  return order;
+}
+
+std::vector<VertexId> order_positions(const std::vector<VertexId>& order) {
+  std::vector<VertexId> pos(order.size());
+  std::vector<bool> seen(order.size(), false);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    GNNIE_REQUIRE(order[i] < order.size() && !seen[order[i]], "order must be a permutation");
+    seen[order[i]] = true;
+    pos[order[i]] = static_cast<VertexId>(i);
+  }
+  return pos;
+}
+
+}  // namespace gnnie

@@ -1,0 +1,58 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace gnnie {
+
+std::vector<VertexId> degrees(const Csr& g) {
+  std::vector<VertexId> d(g.vertex_count());
+  for (VertexId v = 0; v < g.vertex_count(); ++v) d[v] = g.degree(v);
+  return d;
+}
+
+double edge_coverage(const Csr& g, double fraction) {
+  GNNIE_REQUIRE(fraction >= 0.0 && fraction <= 1.0, "fraction must be in [0,1]");
+  if (g.vertex_count() == 0 || g.edge_count() == 0) return 0.0;
+  std::vector<VertexId> d = degrees(g);
+  std::sort(d.begin(), d.end(), std::greater<>());
+  auto take = static_cast<std::size_t>(std::ceil(fraction * static_cast<double>(d.size())));
+  take = std::min(take, d.size());
+  std::uint64_t covered = 0;
+  for (std::size_t i = 0; i < take; ++i) covered += d[i];
+  return static_cast<double>(covered) / static_cast<double>(g.edge_count());
+}
+
+DegreeStats compute_degree_stats(const Csr& g) {
+  DegreeStats s;
+  if (g.vertex_count() == 0) return s;
+  std::vector<VertexId> d = degrees(g);
+  s.min_degree = *std::min_element(d.begin(), d.end());
+  s.max_degree = *std::max_element(d.begin(), d.end());
+  s.mean_degree = static_cast<double>(g.edge_count()) / static_cast<double>(g.vertex_count());
+
+  // MLE exponent over the tail d >= d_min. d_min = max(2, mean/2) is a
+  // pragmatic cutoff that keeps the fit on the tail for our generators.
+  const VertexId dmin = std::max<VertexId>(2, static_cast<VertexId>(s.mean_degree / 2.0));
+  s.power_law_dmin = dmin;
+  double log_sum = 0.0;
+  std::uint64_t n_tail = 0;
+  for (VertexId deg : d) {
+    if (deg >= dmin) {
+      log_sum += std::log(static_cast<double>(deg) / (static_cast<double>(dmin) - 0.5));
+      ++n_tail;
+    }
+  }
+  s.power_law_alpha = (n_tail > 0 && log_sum > 0.0)
+                          ? 1.0 + static_cast<double>(n_tail) / log_sum
+                          : 0.0;
+
+  s.edge_coverage_top1 = edge_coverage(g, 0.01);
+  s.edge_coverage_top10 = edge_coverage(g, 0.10);
+  s.edge_coverage_top11 = edge_coverage(g, 0.11);
+  return s;
+}
+
+}  // namespace gnnie

@@ -1,0 +1,44 @@
+#include "mem/buffers.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace gnnie {
+
+OnChipBuffer::OnChipBuffer(std::string name, Bytes capacity)
+    : name_(std::move(name)), capacity_(capacity) {
+  GNNIE_REQUIRE(capacity_ > 0, "buffer capacity must be positive");
+}
+
+void OnChipBuffer::reserve(Bytes bytes) {
+  GNNIE_REQUIRE(can_fit(bytes), name_ + " buffer overflow: " + std::to_string(used_ + bytes) +
+                                    " > " + std::to_string(capacity_));
+  used_ += bytes;
+  peak_used_ = std::max(peak_used_, used_);
+}
+
+void OnChipBuffer::release(Bytes bytes) {
+  GNNIE_REQUIRE(bytes <= used_, name_ + " buffer release underflow");
+  used_ -= bytes;
+}
+
+void OnChipBuffer::reset() { used_ = 0; }
+
+std::uint64_t OnChipBuffer::max_items(Bytes item_bytes) const {
+  GNNIE_REQUIRE(item_bytes > 0, "item size must be positive");
+  const std::uint64_t n = capacity_ / item_bytes;
+  GNNIE_REQUIRE(n >= 1, name_ + " buffer cannot hold even one item of " +
+                            std::to_string(item_bytes) + " bytes");
+  return n;
+}
+
+BufferSizes BufferSizes::for_dataset(bool large_dataset) {
+  BufferSizes s{};
+  s.input = large_dataset ? (512u << 10) : (256u << 10);
+  return s;
+}
+
+Cycles overlap_phase(Cycles compute, Cycles fetch) { return std::max(compute, fetch); }
+
+}  // namespace gnnie

@@ -1,0 +1,70 @@
+// On-chip buffer capacity models and the double-buffering overlap rule.
+//
+// GNNIE's buffers (§III, §VIII-A): input 256 KB (CR, CS) / 512 KB (larger
+// datasets), output 1 MB, weight 128 KB (sized as 4K × 16 × 2 for
+// double-buffering). The capacity model answers "how many vertices / weight
+// columns fit", which drives set sizes s, attention batch Va, and the cache
+// subgraph size n.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace gnnie {
+
+class OnChipBuffer {
+ public:
+  OnChipBuffer(std::string name, Bytes capacity);
+
+  const std::string& name() const { return name_; }
+  Bytes capacity() const { return capacity_; }
+  Bytes used() const { return used_; }
+  Bytes peak_used() const { return peak_used_; }
+  Bytes free_bytes() const { return capacity_ - used_; }
+
+  bool can_fit(Bytes bytes) const { return used_ + bytes <= capacity_; }
+
+  /// Reserves space; throws std::invalid_argument if it does not fit —
+  /// callers are expected to size their working sets with can_fit/max_items.
+  void reserve(Bytes bytes);
+  void release(Bytes bytes);
+  void reset();
+
+  /// How many fixed-size items fit in the whole buffer (≥1 enforced so
+  /// degenerate configurations fail loudly at setup rather than dividing
+  /// by zero mid-run).
+  std::uint64_t max_items(Bytes item_bytes) const;
+
+  /// Lifetime access counters (for the energy model).
+  void note_read(Bytes bytes) { bytes_read_ += bytes; }
+  void note_write(Bytes bytes) { bytes_written_ += bytes; }
+  Bytes bytes_read() const { return bytes_read_; }
+  Bytes bytes_written() const { return bytes_written_; }
+
+ private:
+  std::string name_;
+  Bytes capacity_;
+  Bytes used_ = 0;
+  Bytes peak_used_ = 0;
+  Bytes bytes_read_ = 0;
+  Bytes bytes_written_ = 0;
+};
+
+/// Buffer sizing per §VIII-A. `large_dataset` selects the 512 KB input
+/// buffer (PB, PPI, RD) over the 256 KB one (CR, CS).
+struct BufferSizes {
+  Bytes input;
+  Bytes output = 1u << 20;   // 1 MB
+  Bytes weight = 128u << 10; // 128 KB
+
+  static BufferSizes for_dataset(bool large_dataset);
+};
+
+/// Double-buffering overlap (§IV-A): while the PE array computes pass i,
+/// the next pass's operands stream in; the phase costs the slower of the
+/// two. The first fetch cannot be hidden.
+Cycles overlap_phase(Cycles compute, Cycles fetch);
+
+}  // namespace gnnie

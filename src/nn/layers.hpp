@@ -1,0 +1,46 @@
+// Reference (software, FP32) implementations of the per-layer operations in
+// Table I. These define the exact function the accelerator model must
+// compute; every engine test validates against them.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+#include "nn/matrix.hpp"
+#include "nn/model.hpp"
+
+namespace gnnie {
+
+/// Symmetric-normalized aggregation with self loops: out = Ã·hw where
+/// Ã = D^-1/2 (A + I) D^-1/2 and D̃_ii = deg(i) + 1. This is the GCN rule
+/// (Table I) applied weighting-first (§III, Eq. 5).
+Matrix gcn_normalize_aggregate(const Csr& g, const Matrix& hw);
+
+/// out_i = self_weight · hw_i + Σ_{j∈N(i)} hw_j. GIN uses
+/// self_weight = 1 + ε; plain sum aggregation uses self_weight = 1.
+Matrix sum_aggregate(const Csr& g, const Matrix& hw, float self_weight);
+
+/// Elementwise max over {i} ∪ N_sampled(i) (GraphSAGE max-pooling
+/// aggregator, Table III). `sampled` holds each vertex's sampled in-neighbors.
+Matrix max_aggregate(const Csr& sampled, const Matrix& hw);
+
+/// One full layer per GNN kind; `final_activation` disables the trailing
+/// ReLU (used by DiffPool's pool GNN whose logits feed a softmax instead).
+Matrix gcn_layer(const Csr& g, const Matrix& h, const LayerWeights& lw,
+                 bool final_activation = true);
+Matrix sage_layer(const Csr& sampled, const Matrix& h, const LayerWeights& lw);
+/// Multi-head GAT: head h owns output columns [h·F/H, (h+1)·F/H) of lw.w
+/// and of a1/a2; attention softmax runs per head; head outputs are
+/// concatenated (heads must divide the output width). heads = 1 is the
+/// paper's configuration.
+Matrix gat_layer(const Csr& g, const Matrix& h, const LayerWeights& lw, float leaky_slope,
+                 std::uint32_t heads = 1);
+Matrix gin_layer(const Csr& g, const Matrix& h, const LayerWeights& lw, float eps);
+
+/// GraphSAGE neighborhood sampling: for each vertex keep up to
+/// `sample_size` of its neighbors, chosen without replacement,
+/// deterministically from `seed` (the paper pregenerates its random
+/// numbers; a fixed seed serves the same purpose).
+Csr sample_neighborhood(const Csr& g, std::uint32_t sample_size, std::uint64_t seed);
+
+}  // namespace gnnie

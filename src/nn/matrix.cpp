@@ -1,0 +1,44 @@
+#include "nn/matrix.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace gnnie {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, float fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, std::vector<float> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  GNNIE_REQUIRE(data_.size() == rows_ * cols_, "matrix data size mismatch");
+}
+
+float Matrix::max_abs_diff(const Matrix& a, const Matrix& b) {
+  GNNIE_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(), "shape mismatch");
+  float worst = 0.0f;
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    worst = std::max(worst, std::fabs(a.data()[i] - b.data()[i]));
+  }
+  return worst;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  GNNIE_REQUIRE(a.cols() == b.rows(), "matmul inner dimension mismatch");
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const float aik = a.at(i, k);
+      if (aik == 0.0f) continue;  // input features are ultra-sparse
+      axpy(aik, b.row(k), c.row(i));
+    }
+  }
+  return c;
+}
+
+void axpy(float scale, std::span<const float> row, std::span<float> out) {
+  GNNIE_REQUIRE(row.size() == out.size(), "axpy span size mismatch");
+  for (std::size_t i = 0; i < row.size(); ++i) out[i] += scale * row[i];
+}
+
+}  // namespace gnnie

@@ -1,0 +1,45 @@
+// Minimal row-major dense matrix for the reference GNN implementations.
+// This is the functional oracle the accelerator model is validated against,
+// so clarity beats performance here.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gnnie {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f);
+  Matrix(std::size_t rows, std::size_t cols, std::vector<float> data);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  float& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  float at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  std::span<float> row(std::size_t r) { return {data_.data() + r * cols_, cols_}; }
+  std::span<const float> row(std::size_t r) const { return {data_.data() + r * cols_, cols_}; }
+
+  std::span<const float> data() const { return data_; }
+  std::span<float> data() { return data_; }
+
+  /// Elementwise maximum absolute difference; matrices must be congruent.
+  static float max_abs_diff(const Matrix& a, const Matrix& b);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// C = A × B.
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// out += scale * row (axpy over spans).
+void axpy(float scale, std::span<const float> row, std::span<float> out);
+
+}  // namespace gnnie

@@ -1,0 +1,80 @@
+#include "nn/model.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+
+namespace gnnie {
+
+std::string to_string(GnnKind kind) {
+  switch (kind) {
+    case GnnKind::kGcn: return "GCN";
+    case GnnKind::kGraphSage: return "GraphSAGE";
+    case GnnKind::kGat: return "GAT";
+    case GnnKind::kGinConv: return "GINConv";
+    case GnnKind::kDiffPool: return "DiffPool";
+  }
+  throw std::logic_error("unknown GnnKind");
+}
+
+const std::vector<GnnKind>& all_gnn_kinds() {
+  static const std::vector<GnnKind> kinds = {GnnKind::kGcn, GnnKind::kGraphSage, GnnKind::kGat,
+                                             GnnKind::kGinConv, GnnKind::kDiffPool};
+  return kinds;
+}
+
+namespace {
+
+Matrix xavier(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  const double limit = std::sqrt(6.0 / static_cast<double>(rows + cols));
+  for (float& x : m.data()) x = static_cast<float>(rng.next_double(-limit, limit));
+  return m;
+}
+
+std::vector<float> xavier_vec(std::size_t n, Rng& rng) {
+  std::vector<float> v(n);
+  const double limit = std::sqrt(3.0 / static_cast<double>(n));
+  for (float& x : v) x = static_cast<float>(rng.next_double(-limit, limit));
+  return v;
+}
+
+LayerWeights make_layer(GnnKind kind, std::uint32_t f_in, std::uint32_t f_out, Rng& rng) {
+  LayerWeights lw;
+  lw.w = xavier(f_in, f_out, rng);
+  if (kind == GnnKind::kGat) {
+    lw.a1 = xavier_vec(f_out, rng);
+    lw.a2 = xavier_vec(f_out, rng);
+  }
+  if (kind == GnnKind::kGinConv) {
+    lw.w2 = xavier(f_out, f_out, rng);
+    lw.b1 = xavier_vec(f_out, rng);
+    lw.b2 = xavier_vec(f_out, rng);
+  }
+  return lw;
+}
+
+}  // namespace
+
+GnnWeights init_weights(const ModelConfig& config, std::uint64_t seed) {
+  GNNIE_REQUIRE(config.input_dim > 0, "input_dim must be set");
+  GNNIE_REQUIRE(config.num_layers > 0, "need at least one layer");
+  Rng rng(seed);
+  GnnWeights w;
+  for (std::uint32_t l = 0; l < config.num_layers; ++l) {
+    w.layers.push_back(make_layer(config.kind, config.layer_input_dim(l),
+                                  config.layer_output_dim(l), rng));
+  }
+  if (config.kind == GnnKind::kDiffPool) {
+    // Pool GNN output width = cluster count (Table III: 128 channels).
+    for (std::uint32_t l = 0; l < config.num_layers; ++l) {
+      const std::uint32_t f_out =
+          (l + 1 == config.num_layers) ? config.pool_clusters : config.layer_output_dim(l);
+      w.pool_layers.push_back(make_layer(GnnKind::kGcn, config.layer_input_dim(l), f_out, rng));
+    }
+  }
+  return w;
+}
+
+}  // namespace gnnie

@@ -1,0 +1,64 @@
+// GNN model configuration and weights (Table I operations, Table III layer
+// configurations). Weights are randomly initialized — GNNIE evaluates
+// inference *performance*, so trained parameters are unnecessary; what
+// matters is that the accelerator model and the software reference compute
+// the same function from the same weights.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace gnnie {
+
+enum class GnnKind { kGcn, kGraphSage, kGat, kGinConv, kDiffPool };
+
+std::string to_string(GnnKind kind);
+const std::vector<GnnKind>& all_gnn_kinds();
+
+struct ModelConfig {
+  GnnKind kind = GnnKind::kGcn;
+  std::uint32_t input_dim = 0;
+  std::uint32_t hidden_dim = 128;  ///< Table III: 128 channels everywhere
+  std::uint32_t num_layers = 2;
+  std::uint32_t sample_size = 25;  ///< GraphSAGE neighborhood sample (Table III)
+  float leaky_slope = 0.2f;        ///< GAT LeakyReLU slope
+  /// GAT attention heads. Head h owns the output-column slice
+  /// [h·F/H, (h+1)·F/H) of W and of the attention vector; per-head softmax,
+  /// outputs concatenated. 1 reproduces the paper's Table III config;
+  /// published GATs use 8 on the citation graphs.
+  std::uint32_t gat_heads = 1;
+  float gin_eps = 0.1f;            ///< GINConv ε (learned in training; fixed here)
+  /// DiffPool cluster count = pool-GNN output width (Table III: 128).
+  std::uint32_t pool_clusters = 128;
+
+  /// Feature width entering layer `l` (0-based).
+  std::uint32_t layer_input_dim(std::uint32_t l) const {
+    return l == 0 ? input_dim : hidden_dim;
+  }
+  std::uint32_t layer_output_dim(std::uint32_t) const { return hidden_dim; }
+};
+
+/// Per-layer parameters. Only the members a given GnnKind uses are non-empty.
+struct LayerWeights {
+  Matrix w;                ///< F_in × F_out
+  std::vector<float> a1;   ///< GAT attention half multiplying ηw_i (size F_out)
+  std::vector<float> a2;   ///< GAT attention half multiplying ηw_j (size F_out)
+  Matrix w2;               ///< GIN MLP second linear (F_out × F_out)
+  std::vector<float> b1;   ///< GIN MLP biases
+  std::vector<float> b2;
+};
+
+struct GnnWeights {
+  std::vector<LayerWeights> layers;
+  /// DiffPool only: the pooling GNN (Eq. 4) mirrored per layer; the main
+  /// `layers` act as the embedding GNN (Eq. 3).
+  std::vector<LayerWeights> pool_layers;
+};
+
+/// Deterministic Xavier-style initialization.
+GnnWeights init_weights(const ModelConfig& config, std::uint64_t seed);
+
+}  // namespace gnnie

@@ -1,0 +1,89 @@
+#include "nn/op_count.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace gnnie {
+namespace {
+
+std::uint64_t sampled_edge_count(const Csr& g, std::uint32_t sample_size) {
+  std::uint64_t e = 0;
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    e += std::min<std::uint64_t>(g.degree(v), sample_size);
+  }
+  return e;
+}
+
+}  // namespace
+
+OpProfile op_profile(const ModelConfig& config, const Csr& g, const SparseMatrix& features) {
+  GNNIE_REQUIRE(features.row_count() == g.vertex_count(), "features/graph mismatch");
+  OpProfile p;
+  p.input_feature_nnz = features.total_nnz();
+
+  const std::uint64_t v = g.vertex_count();
+  const std::uint64_t e = g.edge_count();
+  const std::uint64_t e_self = e + v;  // {i} ∪ N(i)
+  const std::uint64_t f_out = config.hidden_dim;
+
+  auto weighting_layer_macs = [&](std::uint32_t layer) -> Ops {
+    // Layer 0 skips zeros in the ultra-sparse input features; later layers
+    // are effectively dense.
+    if (layer == 0) return p.input_feature_nnz * f_out;
+    return v * static_cast<std::uint64_t>(config.hidden_dim) * f_out;
+  };
+
+  for (std::uint32_t l = 0; l < config.num_layers; ++l) {
+    p.weight_elements += static_cast<std::uint64_t>(config.layer_input_dim(l)) * f_out;
+    switch (config.kind) {
+      case GnnKind::kGcn:
+        p.weighting_macs += weighting_layer_macs(l);
+        p.aggregation_macs += e_self * f_out;  // 1/√(didj)-scaled adds
+        p.edges_processed += e_self;
+        break;
+      case GnnKind::kGraphSage: {
+        const std::uint64_t es = sampled_edge_count(g, config.sample_size);
+        p.weighting_macs += weighting_layer_macs(l);
+        p.compare_ops += (es + v) * f_out;  // elementwise max incl. self
+        p.edges_processed += es + v;
+        break;
+      }
+      case GnnKind::kGat:
+        p.weighting_macs += weighting_layer_macs(l);
+        p.weighting_macs += 2 * v * f_out;       // a1ᵀηw and a2ᵀηw (Eq. 7)
+        p.aggregation_macs += e_self * f_out;    // exp(e)·ηw accumulation
+        p.special_ops += 3 * e_self;             // add + LeakyReLU + exp per edge
+        p.special_ops += v * f_out;              // softmax divide
+        p.edges_processed += e_self;
+        break;
+      case GnnKind::kGinConv:
+        p.weighting_macs += weighting_layer_macs(l);
+        p.weighting_macs += v * f_out * f_out;  // second MLP linear
+        p.weight_elements += f_out * f_out;
+        p.aggregation_macs += e_self * f_out;
+        p.special_ops += 2 * v * f_out;  // two bias+ReLU stages
+        p.edges_processed += e_self;
+        break;
+      case GnnKind::kDiffPool: {
+        // Embedding GNN layer + pooling GNN layer (both GCN-shaped).
+        p.weighting_macs += 2 * weighting_layer_macs(l);
+        p.weight_elements += static_cast<std::uint64_t>(config.layer_input_dim(l)) * f_out;
+        p.aggregation_macs += 2 * e_self * f_out;
+        p.edges_processed += 2 * e_self;
+        break;
+      }
+    }
+  }
+
+  if (config.kind == GnnKind::kDiffPool) {
+    const std::uint64_t c = config.pool_clusters;
+    p.special_ops += v * c;                 // assignment softmax
+    p.weighting_macs += v * c * f_out;      // Xc = SᵀZ
+    p.aggregation_macs += e_self * c;       // Ã·S
+    p.weighting_macs += v * c * c;          // Sᵀ(ÃS)
+  }
+  return p;
+}
+
+}  // namespace gnnie

@@ -1,0 +1,75 @@
+#include "nn/quantization.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace gnnie {
+
+QuantizedMatrix QuantizedMatrix::quantize(const Matrix& w) {
+  QuantizedMatrix q;
+  q.rows_ = w.rows();
+  q.cols_ = w.cols();
+  q.data_.resize(w.rows() * w.cols());
+  q.scales_.assign(w.cols(), 0.0f);
+  for (std::size_t c = 0; c < w.cols(); ++c) {
+    float max_abs = 0.0f;
+    for (std::size_t r = 0; r < w.rows(); ++r) {
+      max_abs = std::max(max_abs, std::fabs(w.at(r, c)));
+    }
+    q.scales_[c] = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+    for (std::size_t r = 0; r < w.rows(); ++r) {
+      const float scaled = w.at(r, c) / q.scales_[c];
+      q.data_[r * w.cols() + c] =
+          static_cast<std::int8_t>(std::lround(std::fmin(127.0f, std::fmax(-127.0f, scaled))));
+    }
+  }
+  return q;
+}
+
+Matrix QuantizedMatrix::dequantize() const {
+  Matrix w(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      w.at(r, c) = static_cast<float>(q(r, c)) * scales_[c];
+    }
+  }
+  return w;
+}
+
+float QuantizedMatrix::max_quantization_error(const Matrix& reference) const {
+  GNNIE_REQUIRE(reference.rows() == rows_ && reference.cols() == cols_,
+                "reference shape mismatch");
+  float worst = 0.0f;
+  for (std::size_t c = 0; c < cols_; ++c) {
+    float col_max = 0.0f;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      col_max = std::max(col_max, std::fabs(reference.at(r, c)));
+    }
+    if (col_max == 0.0f) continue;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const float err =
+          std::fabs(static_cast<float>(q(r, c)) * scales_[c] - reference.at(r, c));
+      worst = std::max(worst, err / col_max);
+    }
+  }
+  return worst;
+}
+
+Matrix matmul_quantized(const Matrix& h, const QuantizedMatrix& qw) {
+  GNNIE_REQUIRE(h.cols() == qw.rows(), "matmul inner dimension mismatch");
+  Matrix out(h.rows(), qw.cols());
+  for (std::size_t i = 0; i < h.rows(); ++i) {
+    for (std::size_t k = 0; k < h.cols(); ++k) {
+      const float hik = h.at(i, k);
+      if (hik == 0.0f) continue;
+      auto out_row = out.row(i);
+      for (std::size_t c = 0; c < qw.cols(); ++c) {
+        out_row[c] += hik * static_cast<float>(qw.q(k, c)) * qw.scale(c);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace gnnie

@@ -1,0 +1,50 @@
+// Int8 weight quantization — the precision GNNIE's hardware actually uses
+// (§VIII-A sizes the weight buffer for 1-byte weights; EngineConfig models
+// the traffic). This module provides the functional side: symmetric
+// per-column int8 quantization of weight matrices, dequantized matmul, and
+// error metrics, so users can check accuracy impact on their own models.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace gnnie {
+
+/// Symmetric per-column int8 quantization: w ≈ q · scale[col], q ∈ [-127, 127].
+class QuantizedMatrix {
+ public:
+  QuantizedMatrix() = default;
+
+  static QuantizedMatrix quantize(const Matrix& w);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  std::int8_t q(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+  float scale(std::size_t c) const { return scales_.at(c); }
+
+  /// Reconstructed FP32 weight matrix.
+  Matrix dequantize() const;
+
+  /// Largest |w - dequantize(w)| relative to the column's max magnitude.
+  float max_quantization_error(const Matrix& reference) const;
+
+  /// Storage in bytes (int8 payload + FP32 scales).
+  std::uint64_t storage_bytes() const {
+    return data_.size() + scales_.size() * sizeof(float);
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::int8_t> data_;
+  std::vector<float> scales_;
+};
+
+/// h × dequantize(qw) without materializing the dequantized matrix — the
+/// arithmetic a 1-byte-weight MAC datapath performs.
+Matrix matmul_quantized(const Matrix& h, const QuantizedMatrix& qw);
+
+}  // namespace gnnie

@@ -1,0 +1,103 @@
+#include "nn/reference.hpp"
+
+#include "common/require.hpp"
+#include "nn/layers.hpp"
+#include "nn/ops.hpp"
+
+namespace gnnie {
+
+Matrix to_matrix(const SparseMatrix& sm) {
+  return Matrix(sm.row_count(), sm.col_count(), sm.to_dense());
+}
+
+namespace {
+
+/// DiffPool (Eqs. 3–4): run the embedding GNN and the pooling GNN (both
+/// GCN-style per Table III), softmax the assignments, coarsen.
+Matrix diffpool_forward(const GnnWeights& weights, const Csr& g, const Matrix& x0,
+                        ForwardTrace* trace) {
+  Matrix z = x0;
+  for (std::size_t l = 0; l < weights.layers.size(); ++l) {
+    z = gcn_layer(g, z, weights.layers[l]);
+    if (trace != nullptr) trace->layer_outputs.push_back(z);
+  }
+  Matrix s = x0;
+  for (std::size_t l = 0; l < weights.pool_layers.size(); ++l) {
+    const bool last = l + 1 == weights.pool_layers.size();
+    // The last pool layer emits assignment logits (softmax applies instead
+    // of ReLU, Eq. 4).
+    s = gcn_layer(g, s, weights.pool_layers[l], /*final_activation=*/!last);
+    if (trace != nullptr) trace->layer_outputs.push_back(s);
+  }
+  row_softmax_inplace(s);
+
+  // Xc = Sᵀ Z (C × F), Ac = Sᵀ Ã S (C × C) with Ã the normalized adjacency.
+  const std::size_t clusters = s.cols();
+  Matrix xc(clusters, z.cols());
+  for (std::size_t v = 0; v < s.rows(); ++v) {
+    for (std::size_t c = 0; c < clusters; ++c) {
+      axpy(s.at(v, c), z.row(v), xc.row(c));
+    }
+  }
+  Matrix as = gcn_normalize_aggregate(g, s);  // Ã·S, |V| × C
+  Matrix ac(clusters, clusters);
+  for (std::size_t v = 0; v < s.rows(); ++v) {
+    for (std::size_t c = 0; c < clusters; ++c) {
+      axpy(s.at(v, c), as.row(v), ac.row(c));
+    }
+  }
+  if (trace != nullptr) {
+    trace->diffpool = DiffPoolArtifacts{z, s, xc, ac};
+    trace->layer_outputs.push_back(xc);
+  }
+  return xc;
+}
+
+}  // namespace
+
+Matrix reference_forward(const ModelConfig& config, const GnnWeights& weights, const Csr& g,
+                         const Matrix& x0, const std::vector<Csr>& sampled_per_layer,
+                         ForwardTrace* trace) {
+  GNNIE_REQUIRE(x0.rows() == g.vertex_count(), "feature rows must match vertex count");
+  GNNIE_REQUIRE(x0.cols() == config.input_dim, "feature width must match config.input_dim");
+  GNNIE_REQUIRE(weights.layers.size() == config.num_layers, "weights/config layer mismatch");
+
+  if (config.kind == GnnKind::kDiffPool) {
+    return diffpool_forward(weights, g, x0, trace);
+  }
+  if (config.kind == GnnKind::kGraphSage) {
+    GNNIE_REQUIRE(sampled_per_layer.size() == config.num_layers,
+                  "GraphSAGE needs one sampled adjacency per layer");
+  }
+
+  Matrix h = x0;
+  for (std::uint32_t l = 0; l < config.num_layers; ++l) {
+    const LayerWeights& lw = weights.layers[l];
+    switch (config.kind) {
+      case GnnKind::kGcn:
+        h = gcn_layer(g, h, lw);
+        break;
+      case GnnKind::kGraphSage:
+        h = sage_layer(sampled_per_layer[l], h, lw);
+        break;
+      case GnnKind::kGat:
+        h = gat_layer(g, h, lw, config.leaky_slope, config.gat_heads);
+        break;
+      case GnnKind::kGinConv:
+        h = gin_layer(g, h, lw, config.gin_eps);
+        break;
+      case GnnKind::kDiffPool:
+        break;  // handled above
+    }
+    if (trace != nullptr) trace->layer_outputs.push_back(h);
+  }
+  return h;
+}
+
+Matrix reference_forward(const ModelConfig& config, const GnnWeights& weights, const Csr& g,
+                         const SparseMatrix& x0, const std::vector<Csr>& sampled_per_layer,
+                         ForwardTrace* trace) {
+  return reference_forward(config, weights, g, to_matrix(x0), sampled_per_layer, trace);
+}
+
+}  // namespace gnnie

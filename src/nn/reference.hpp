@@ -1,0 +1,47 @@
+// Full-model reference forward pass — the oracle for engine validation and
+// the op-count source for the analytic software baselines (Fig. 12).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "nn/matrix.hpp"
+#include "nn/model.hpp"
+#include "sparse/sparse_matrix.hpp"
+
+namespace gnnie {
+
+/// Outputs of the DiffPool pipeline (Eqs. 3–4): embedding Z, assignment S,
+/// coarsened features Xc = SᵀZ and adjacency Ac = SᵀÃS.
+struct DiffPoolArtifacts {
+  Matrix z;
+  Matrix s;
+  Matrix x_coarse;
+  Matrix a_coarse;
+};
+
+struct ForwardTrace {
+  /// Output of every layer, in execution order (DiffPool: embed layers,
+  /// then pool layers, then coarsened results).
+  std::vector<Matrix> layer_outputs;
+  std::optional<DiffPoolArtifacts> diffpool;
+};
+
+/// Runs the model on dense input features. For GraphSAGE,
+/// `sampled_per_layer` must hold one sampled adjacency per layer (see
+/// sample_neighborhood); other models ignore it.
+Matrix reference_forward(const ModelConfig& config, const GnnWeights& weights, const Csr& g,
+                         const Matrix& x0, const std::vector<Csr>& sampled_per_layer = {},
+                         ForwardTrace* trace = nullptr);
+
+/// Convenience overload for sparse input features.
+Matrix reference_forward(const ModelConfig& config, const GnnWeights& weights, const Csr& g,
+                         const SparseMatrix& x0, const std::vector<Csr>& sampled_per_layer = {},
+                         ForwardTrace* trace = nullptr);
+
+/// Dense Matrix view of a SparseMatrix.
+Matrix to_matrix(const SparseMatrix& sm);
+
+}  // namespace gnnie

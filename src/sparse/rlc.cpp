@@ -1,0 +1,52 @@
+#include "sparse/rlc.hpp"
+
+#include "common/require.hpp"
+
+namespace gnnie {
+
+double RlcEncoded::compression_ratio() const {
+  if (byte_size() == 0) return dense_length_ == 0 ? 1.0 : 1e30;
+  return static_cast<double>(dense_length_ * sizeof(float)) /
+         static_cast<double>(byte_size());
+}
+
+RlcEncoded rlc_encode(std::span<const float> dense) {
+  std::vector<RlcToken> tokens;
+  std::uint32_t run = 0;
+  for (float v : dense) {
+    if (v == 0.0f) {
+      ++run;
+      if (run == 256) {
+        // Cannot represent a 256-zero gap in one token: flush a filler.
+        tokens.push_back({255, 0.0f});
+        run = 0;
+      }
+      continue;
+    }
+    tokens.push_back({static_cast<std::uint8_t>(run), v});
+    run = 0;
+  }
+  if (run > 0) {
+    // Trailing zeros: encode as filler token(s); (run-1, 0) pins the tail.
+    tokens.push_back({static_cast<std::uint8_t>(run - 1), 0.0f});
+  }
+  return RlcEncoded(std::move(tokens), dense.size());
+}
+
+std::vector<float> rlc_decode(const RlcEncoded& enc) {
+  std::vector<float> out;
+  out.reserve(enc.dense_length());
+  for (const RlcToken& t : enc.tokens()) {
+    out.insert(out.end(), t.zero_run, 0.0f);
+    out.push_back(t.value);
+  }
+  // Filler tokens for long runs / zero tails emit an explicit 0.0 that can
+  // overshoot by at most one element per token; trim or pad to the recorded
+  // dense length (padding covers the all-zero-suffix case).
+  GNNIE_ASSERT(out.size() + enc.dense_length() >= out.size(), "overflow");
+  if (out.size() > enc.dense_length()) out.resize(enc.dense_length());
+  while (out.size() < enc.dense_length()) out.push_back(0.0f);
+  return out;
+}
+
+}  // namespace gnnie

@@ -1,0 +1,46 @@
+// Run-length compression (RLC) for sparse input feature vectors (§III).
+//
+// GNNIE streams input-layer vertex features from DRAM in RLC form and
+// decodes them just before they enter the PE array; later layers (denser)
+// bypass the codec. The format here is the classic zero-run scheme of
+// [28]: a stream of (zero_run, value) tokens, where zero_run counts the
+// zeros preceding `value`. Runs longer than 255 are split with (255, 0)
+// filler tokens; a trailing zero tail is encoded as filler + a final
+// explicit zero token when needed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gnnie {
+
+struct RlcToken {
+  std::uint8_t zero_run;  ///< zeros preceding `value`
+  float value;
+};
+
+class RlcEncoded {
+ public:
+  RlcEncoded() = default;
+  RlcEncoded(std::vector<RlcToken> tokens, std::size_t dense_length)
+      : tokens_(std::move(tokens)), dense_length_(dense_length) {}
+
+  std::span<const RlcToken> tokens() const { return tokens_; }
+  std::size_t dense_length() const { return dense_length_; }
+
+  /// Stream size in bytes: 1 byte of run length + 4 bytes of value per token.
+  std::uint64_t byte_size() const { return tokens_.size() * 5u; }
+
+  /// Compression ratio vs. the dense float vector (>1 means smaller).
+  double compression_ratio() const;
+
+ private:
+  std::vector<RlcToken> tokens_;
+  std::size_t dense_length_ = 0;
+};
+
+RlcEncoded rlc_encode(std::span<const float> dense);
+std::vector<float> rlc_decode(const RlcEncoded& enc);
+
+}  // namespace gnnie

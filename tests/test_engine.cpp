@@ -1,0 +1,186 @@
+// End-to-end tests for GnnieEngine: functional equivalence against the
+// reference forward pass for all five GNNs, report sanity, determinism,
+// and configuration effects on inference time.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "datasets/synthetic.hpp"
+#include "nn/layers.hpp"
+#include "nn/reference.hpp"
+
+namespace gnnie {
+namespace {
+
+struct Fixture {
+  Dataset data;
+  ModelConfig model;
+  GnnWeights weights;
+  std::vector<Csr> sampled;
+
+  Fixture(GnnKind kind, double scale = 0.1, std::uint32_t hidden = 32) {
+    data = generate_dataset(spec_of(DatasetId::kCora).scaled(scale), 1);
+    model.kind = kind;
+    model.input_dim = data.spec.feature_length;
+    model.hidden_dim = hidden;
+    model.pool_clusters = 16;
+    weights = init_weights(model, 42);
+    if (kind == GnnKind::kGraphSage) {
+      for (std::uint32_t l = 0; l < model.num_layers; ++l) {
+        sampled.push_back(sample_neighborhood(data.graph, model.sample_size, 100 + l));
+      }
+    }
+  }
+};
+
+float run_and_compare(const Fixture& f, const EngineConfig& cfg,
+                      InferenceReport* report = nullptr) {
+  GnnieEngine engine(cfg);
+  InferenceResult res = engine.run(f.model, f.weights, f.data.graph, f.data.features, f.sampled);
+  Matrix want =
+      reference_forward(f.model, f.weights, f.data.graph, f.data.features, f.sampled);
+  if (report != nullptr) *report = res.report;
+  return Matrix::max_abs_diff(res.output, want);
+}
+
+class EngineEquivalence : public ::testing::TestWithParam<GnnKind> {};
+
+TEST_P(EngineEquivalence, MatchesReferenceForward) {
+  Fixture f(GetParam());
+  EngineConfig cfg = EngineConfig::paper_default(false);
+  InferenceReport rep;
+  EXPECT_LT(run_and_compare(f, cfg, &rep), 2e-3f);
+  EXPECT_GT(rep.total_cycles, 0u);
+  EXPECT_GT(rep.total_macs, 0u);
+  EXPECT_GT(rep.runtime_seconds(), 0.0);
+}
+
+TEST_P(EngineEquivalence, MatchesReferenceWithTinyCache) {
+  Fixture f(GetParam());
+  EngineConfig cfg = EngineConfig::paper_default(false);
+  cfg.buffers.input = 16u << 10;  // force heavy eviction traffic
+  EXPECT_LT(run_and_compare(f, cfg), 2e-3f);
+}
+
+TEST_P(EngineEquivalence, MatchesReferenceWithAllOptimizationsOff) {
+  Fixture f(GetParam());
+  EngineConfig cfg = EngineConfig::paper_default(false);
+  cfg.array = ArrayConfig::design_a();
+  cfg.opts = OptimizationFlags::all_off();
+  EXPECT_LT(run_and_compare(f, cfg), 2e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGnns, EngineEquivalence,
+                         ::testing::Values(GnnKind::kGcn, GnnKind::kGraphSage, GnnKind::kGat,
+                                           GnnKind::kGinConv, GnnKind::kDiffPool),
+                         [](const auto& info) { return to_string(info.param); });
+
+TEST(Engine, PeakTopsMatchesPaper) {
+  GnnieEngine e(EngineConfig::paper_default(true));
+  // 1216 MACs × 2 ops × 1.3 GHz = 3.16 TOPS (Table IV reports 3.17).
+  EXPECT_NEAR(e.peak_tops(), 3.16, 0.03);
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  Fixture f(GnnKind::kGcn);
+  EngineConfig cfg = EngineConfig::paper_default(false);
+  InferenceReport a, b;
+  GnnieEngine e1(cfg), e2(cfg);
+  InferenceResult r1 = e1.run(f.model, f.weights, f.data.graph, f.data.features);
+  InferenceResult r2 = e2.run(f.model, f.weights, f.data.graph, f.data.features);
+  EXPECT_EQ(r1.report.total_cycles, r2.report.total_cycles);
+  EXPECT_EQ(Matrix::max_abs_diff(r1.output, r2.output), 0.0f);
+}
+
+TEST(Engine, LayerReportsAreComplete) {
+  Fixture f(GnnKind::kGat);
+  GnnieEngine engine(EngineConfig::paper_default(false));
+  InferenceResult res =
+      engine.run(f.model, f.weights, f.data.graph, f.data.features, f.sampled);
+  ASSERT_EQ(res.report.layers.size(), 2u);
+  for (const LayerReport& lr : res.report.layers) {
+    EXPECT_GT(lr.weighting.total_cycles, 0u);
+    ASSERT_TRUE(lr.attention.has_value());
+    EXPECT_GT(lr.attention->total_cycles, 0u);
+    EXPECT_GT(lr.aggregation.total_cycles, 0u);
+    EXPECT_GT(lr.total_cycles, 0u);
+  }
+}
+
+TEST(Engine, GinGetsSecondLinearReport) {
+  Fixture f(GnnKind::kGinConv);
+  GnnieEngine engine(EngineConfig::paper_default(false));
+  InferenceResult res = engine.run(f.model, f.weights, f.data.graph, f.data.features);
+  for (const LayerReport& lr : res.report.layers) {
+    ASSERT_TRUE(lr.mlp2.has_value());
+    EXPECT_GT(lr.mlp2->total_cycles, 0u);
+  }
+}
+
+TEST(Engine, DiffPoolReportsEmbedPoolAndCoarsen) {
+  Fixture f(GnnKind::kDiffPool);
+  GnnieEngine engine(EngineConfig::paper_default(false));
+  InferenceResult res = engine.run(f.model, f.weights, f.data.graph, f.data.features);
+  // 2 embed + 2 pool + 1 coarsen.
+  EXPECT_EQ(res.report.layers.size(), 5u);
+  EXPECT_EQ(res.output.rows(), f.model.pool_clusters);
+}
+
+TEST(Engine, OptimizationsReduceInferenceCycles) {
+  Fixture f(GnnKind::kGcn, 0.15, 64);
+  EngineConfig all_on = EngineConfig::paper_default(false);
+  all_on.buffers.input = 32u << 10;
+  EngineConfig all_off = all_on;
+  all_off.array = ArrayConfig::design_a();
+  all_off.opts = OptimizationFlags::all_off();
+  all_off.opts.zero_skip = true;  // zero-skip is baseline behaviour in §VIII-E
+
+  InferenceReport rep_on, rep_off;
+  run_and_compare(f, all_on, &rep_on);
+  run_and_compare(f, all_off, &rep_off);
+  EXPECT_LT(rep_on.total_cycles, rep_off.total_cycles);
+}
+
+TEST(Engine, GatCostsMoreThanGcn) {
+  Fixture gcn(GnnKind::kGcn);
+  Fixture gat(GnnKind::kGat);
+  EngineConfig cfg = EngineConfig::paper_default(false);
+  InferenceReport rep_gcn, rep_gat;
+  run_and_compare(gcn, cfg, &rep_gcn);
+  run_and_compare(gat, cfg, &rep_gat);
+  EXPECT_GT(rep_gat.total_cycles, rep_gcn.total_cycles);
+}
+
+TEST(Engine, DramStatsPopulated) {
+  Fixture f(GnnKind::kGcn);
+  EngineConfig cfg = EngineConfig::paper_default(false);
+  InferenceReport rep;
+  run_and_compare(f, cfg, &rep);
+  EXPECT_GT(rep.dram.bytes_read, 0u);
+  EXPECT_GT(rep.dram.bytes_written, 0u);
+  EXPECT_GT(rep.dram_energy, 0.0);
+  EXPECT_GT(rep.dram.row_hit_rate(), 0.5);  // policy-mode traffic is streaming
+}
+
+TEST(Engine, EffectiveTopsBelowPeak) {
+  Fixture f(GnnKind::kGcn, 0.2, 128);
+  EngineConfig cfg = EngineConfig::paper_default(false);
+  GnnieEngine engine(cfg);
+  InferenceResult res = engine.run(f.model, f.weights, f.data.graph, f.data.features);
+  EXPECT_GT(res.report.effective_tops(), 0.0);
+  EXPECT_LT(res.report.effective_tops(), engine.peak_tops() * 1.001);
+}
+
+TEST(Engine, RejectsMismatchedInputs) {
+  Fixture f(GnnKind::kGcn);
+  GnnieEngine engine(EngineConfig::paper_default(false));
+  ModelConfig bad = f.model;
+  bad.input_dim += 1;
+  EXPECT_THROW(engine.run(bad, f.weights, f.data.graph, f.data.features),
+               std::invalid_argument);
+  Fixture sage(GnnKind::kGraphSage);
+  EXPECT_THROW(engine.run(sage.model, sage.weights, sage.data.graph, sage.data.features, {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gnnie

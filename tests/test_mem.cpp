@@ -1,0 +1,188 @@
+// Tests for src/mem: HBM row-buffer behaviour (sequential ≫ random — the
+// property GNNIE's cache policy exploits), epoch accounting, buffer
+// capacity rules, double-buffer overlap.
+#include <gtest/gtest.h>
+
+#include "mem/buffers.hpp"
+#include "mem/hbm.hpp"
+
+namespace gnnie {
+namespace {
+
+TEST(HbmConfig, BurstCyclesMatchesBandwidth) {
+  HbmConfig c;
+  // 256 GB/s over 8 channels at 1.3 GHz → 24.6 B/cycle/channel;
+  // a 64 B burst ≈ 2.6 cycles.
+  EXPECT_NEAR(c.burst_cycles(), 64.0 / (256.0e9 / 8.0 / 1.3e9), 1e-9);
+}
+
+TEST(Hbm, SequentialStreamHitsRows) {
+  HbmModel m;
+  m.begin_epoch();
+  m.access(0, 1u << 20, false, MemClient::kInput);  // 1 MB stream
+  EXPECT_GT(m.stats().row_hit_rate(), 0.95);
+}
+
+TEST(Hbm, RandomSmallReadsMissRows) {
+  HbmModel m;
+  m.begin_epoch();
+  // 4-byte reads scattered over 1 GB: essentially every access misses.
+  std::uint64_t addr = 12345;
+  for (int i = 0; i < 20000; ++i) {
+    m.access(addr % (1u << 30), 4, false, MemClient::kInput);
+    addr = addr * 6364136223846793005ull + 1442695040888963407ull;
+  }
+  EXPECT_LT(m.stats().row_hit_rate(), 0.10);
+}
+
+TEST(Hbm, SequentialIsMuchFasterThanRandomForSameBytes) {
+  const Bytes total = 4u << 20;
+  HbmModel seq;
+  seq.begin_epoch();
+  seq.access(0, total, false, MemClient::kInput);
+  const Cycles seq_cycles = seq.epoch_cycles();
+
+  HbmModel rnd;
+  rnd.begin_epoch();
+  std::uint64_t addr = 99991;
+  const int accesses = static_cast<int>(total / 64);
+  for (int i = 0; i < accesses; ++i) {
+    rnd.access(addr % (1u << 30), 64, false, MemClient::kInput);
+    addr = addr * 6364136223846793005ull + 1442695040888963407ull;
+  }
+  const Cycles rnd_cycles = rnd.epoch_cycles();
+  EXPECT_GT(rnd_cycles, 5 * seq_cycles);
+}
+
+TEST(Hbm, SequentialStreamApproachesPeakBandwidth) {
+  HbmModel m;
+  m.begin_epoch();
+  const Bytes total = 64u << 20;
+  m.access(0, total, false, MemClient::kInput);
+  const double seconds = cycles_to_seconds(m.epoch_cycles(), m.config().clock_hz);
+  const double achieved = static_cast<double>(total) / seconds;
+  EXPECT_GT(achieved, 0.80 * m.config().peak_bandwidth_bytes_per_s);
+  EXPECT_LE(achieved, 1.01 * m.config().peak_bandwidth_bytes_per_s);
+}
+
+TEST(Hbm, SmallAccessRoundsUpToBurst) {
+  HbmModel m;
+  m.begin_epoch();
+  m.access(10, 1, false, MemClient::kWeight);
+  EXPECT_EQ(m.stats().bytes_read, 64u);
+  EXPECT_EQ(m.stats().bursts, 1u);
+}
+
+TEST(Hbm, AccessSpanningBurstBoundaryCountsTwoBursts) {
+  HbmModel m;
+  m.begin_epoch();
+  m.access(60, 8, false, MemClient::kInput);  // crosses the 64 B line
+  EXPECT_EQ(m.stats().bursts, 2u);
+}
+
+TEST(Hbm, ZeroByteAccessIsNoop) {
+  HbmModel m;
+  m.begin_epoch();
+  m.access(0, 0, false, MemClient::kInput);
+  EXPECT_EQ(m.stats().accesses, 0u);
+  EXPECT_EQ(m.epoch_cycles(), 0u);
+}
+
+TEST(Hbm, EpochResetsBusyNotStats) {
+  HbmModel m;
+  m.begin_epoch();
+  m.access(0, 4096, false, MemClient::kInput);
+  EXPECT_GT(m.epoch_cycles(), 0u);
+  m.begin_epoch();
+  EXPECT_EQ(m.epoch_cycles(), 0u);
+  EXPECT_GT(m.stats().bytes_read, 0u);
+}
+
+TEST(Hbm, ClientAttribution) {
+  HbmModel m;
+  m.begin_epoch();
+  m.access(0, 128, false, MemClient::kInput);
+  m.access(1 << 20, 256, true, MemClient::kOutput);
+  m.access(2 << 20, 64, false, MemClient::kWeight);
+  EXPECT_EQ(m.stats().client_bytes[0], 128u);
+  EXPECT_EQ(m.stats().client_bytes[1], 256u);
+  EXPECT_EQ(m.stats().client_bytes[2], 64u);
+}
+
+TEST(Hbm, EnergyMatchesPjPerBit) {
+  HbmModel m;
+  m.begin_epoch();
+  m.access(0, 1000, false, MemClient::kInput);  // rounds to 1024 bytes
+  const double expected = 1024.0 * 8.0 * 3.97e-12;
+  EXPECT_NEAR(m.energy(), expected, expected * 1e-9);
+}
+
+TEST(Hbm, WritesTrackedSeparately) {
+  HbmModel m;
+  m.begin_epoch();
+  m.access(0, 64, true, MemClient::kOutput);
+  EXPECT_EQ(m.stats().bytes_written, 64u);
+  EXPECT_EQ(m.stats().bytes_read, 0u);
+}
+
+TEST(Hbm, RejectsBadGeometry) {
+  HbmConfig c;
+  c.row_bytes = 100;  // not a burst multiple
+  EXPECT_THROW(HbmModel{c}, std::invalid_argument);
+  HbmConfig c2;
+  c2.channels = 0;
+  EXPECT_THROW(HbmModel{c2}, std::invalid_argument);
+}
+
+TEST(Buffer, ReserveReleaseAndPeak) {
+  OnChipBuffer b("test", 1000);
+  b.reserve(400);
+  b.reserve(500);
+  EXPECT_EQ(b.used(), 900u);
+  b.release(600);
+  EXPECT_EQ(b.used(), 300u);
+  EXPECT_EQ(b.peak_used(), 900u);
+  EXPECT_EQ(b.free_bytes(), 700u);
+}
+
+TEST(Buffer, OverflowAndUnderflowThrow) {
+  OnChipBuffer b("test", 100);
+  EXPECT_THROW(b.reserve(101), std::invalid_argument);
+  b.reserve(50);
+  EXPECT_THROW(b.release(51), std::invalid_argument);
+}
+
+TEST(Buffer, MaxItems) {
+  OnChipBuffer b("test", 1024);
+  EXPECT_EQ(b.max_items(256), 4u);
+  EXPECT_EQ(b.max_items(1000), 1u);
+  EXPECT_THROW(b.max_items(2048), std::invalid_argument);
+  EXPECT_THROW(b.max_items(0), std::invalid_argument);
+}
+
+TEST(Buffer, AccessCounters) {
+  OnChipBuffer b("test", 64);
+  b.note_read(10);
+  b.note_write(20);
+  b.note_read(5);
+  EXPECT_EQ(b.bytes_read(), 15u);
+  EXPECT_EQ(b.bytes_written(), 20u);
+}
+
+TEST(Buffer, PaperSizes) {
+  BufferSizes small = BufferSizes::for_dataset(false);
+  BufferSizes large = BufferSizes::for_dataset(true);
+  EXPECT_EQ(small.input, 256u << 10);
+  EXPECT_EQ(large.input, 512u << 10);
+  EXPECT_EQ(small.output, 1u << 20);
+  EXPECT_EQ(small.weight, 128u << 10);
+}
+
+TEST(Overlap, TakesTheSlowerSide) {
+  EXPECT_EQ(overlap_phase(100, 40), 100u);
+  EXPECT_EQ(overlap_phase(40, 100), 100u);
+  EXPECT_EQ(overlap_phase(0, 0), 0u);
+}
+
+}  // namespace
+}  // namespace gnnie

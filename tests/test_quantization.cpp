@@ -1,0 +1,109 @@
+// Tests for int8 weight quantization: reconstruction error bounds, exact
+// cases, storage accounting, and end-to-end GCN accuracy with quantized
+// weights (the 1-byte-weight datapath of §VIII-A).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "datasets/synthetic.hpp"
+#include "nn/layers.hpp"
+#include "nn/model.hpp"
+#include "nn/quantization.hpp"
+#include "nn/reference.hpp"
+
+namespace gnnie {
+namespace {
+
+Matrix random_matrix(std::size_t r, std::size_t c, std::uint64_t seed, double lim = 1.0) {
+  Rng rng(seed);
+  Matrix m(r, c);
+  for (float& x : m.data()) x = static_cast<float>(rng.next_double(-lim, lim));
+  return m;
+}
+
+TEST(Quantization, ErrorBoundedByHalfStep) {
+  Matrix w = random_matrix(64, 32, 1);
+  QuantizedMatrix q = QuantizedMatrix::quantize(w);
+  // Symmetric 8-bit: max error ≤ (1/254) of the column range ≈ 0.004.
+  EXPECT_LT(q.max_quantization_error(w), 0.5f / 127.0f + 1e-6f);
+}
+
+TEST(Quantization, ExactForScaledIntegers) {
+  // Values that are exact multiples of max/127 quantize losslessly.
+  Matrix w(2, 1, std::vector<float>{127.0f, -64.0f});
+  QuantizedMatrix q = QuantizedMatrix::quantize(w);
+  Matrix back = q.dequantize();
+  EXPECT_FLOAT_EQ(back.at(0, 0), 127.0f);
+  EXPECT_FLOAT_EQ(back.at(1, 0), -64.0f);
+}
+
+TEST(Quantization, ZeroColumnSurvives) {
+  Matrix w(3, 2, 0.0f);
+  w.at(0, 1) = 2.0f;
+  QuantizedMatrix q = QuantizedMatrix::quantize(w);
+  Matrix back = q.dequantize();
+  EXPECT_FLOAT_EQ(back.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(back.at(1, 0), 0.0f);
+  EXPECT_FLOAT_EQ(back.at(0, 1), 2.0f);
+}
+
+TEST(Quantization, StorageIsRoughlyQuarterOfFp32) {
+  Matrix w = random_matrix(128, 128, 2);
+  QuantizedMatrix q = QuantizedMatrix::quantize(w);
+  const std::uint64_t fp32 = 128 * 128 * 4;
+  EXPECT_LT(q.storage_bytes(), fp32 / 3);
+}
+
+TEST(Quantization, MatmulMatchesDequantizedMatmul) {
+  Matrix h = random_matrix(16, 40, 3);
+  Matrix w = random_matrix(40, 24, 4);
+  QuantizedMatrix q = QuantizedMatrix::quantize(w);
+  Matrix direct = matmul_quantized(h, q);
+  Matrix via_dequant = matmul(h, q.dequantize());
+  EXPECT_LT(Matrix::max_abs_diff(direct, via_dequant), 1e-5f);
+}
+
+TEST(Quantization, MatmulRejectsShapeMismatch) {
+  Matrix h = random_matrix(4, 5, 1);
+  QuantizedMatrix q = QuantizedMatrix::quantize(random_matrix(6, 3, 2));
+  EXPECT_THROW(matmul_quantized(h, q), std::invalid_argument);
+}
+
+TEST(Quantization, EndToEndGcnStaysClose) {
+  // A full 2-layer GCN with int8 weights should track the FP32 reference
+  // within ~1% relative output error — the accuracy argument behind the
+  // paper's 1-byte weight buffer sizing.
+  Dataset d = generate_dataset(spec_of(DatasetId::kCora).scaled(0.1), 1);
+  ModelConfig cfg;
+  cfg.kind = GnnKind::kGcn;
+  cfg.input_dim = d.spec.feature_length;
+  cfg.hidden_dim = 32;
+  GnnWeights fp = init_weights(cfg, 9);
+
+  GnnWeights quantized = fp;
+  for (LayerWeights& lw : quantized.layers) {
+    lw.w = QuantizedMatrix::quantize(lw.w).dequantize();
+  }
+  Matrix ref = reference_forward(cfg, fp, d.graph, d.features);
+  Matrix qout = reference_forward(cfg, quantized, d.graph, d.features);
+
+  float ref_max = 0.0f;
+  for (float x : ref.data()) ref_max = std::max(ref_max, std::fabs(x));
+  ASSERT_GT(ref_max, 0.0f);
+  EXPECT_LT(Matrix::max_abs_diff(ref, qout) / ref_max, 0.02f);
+}
+
+TEST(Quantization, QuantizedValuesWithinInt8Range) {
+  Matrix w = random_matrix(50, 20, 5, 100.0);
+  QuantizedMatrix q = QuantizedMatrix::quantize(w);
+  for (std::size_t r = 0; r < q.rows(); ++r) {
+    for (std::size_t c = 0; c < q.cols(); ++c) {
+      EXPECT_GE(q.q(r, c), -127);
+      EXPECT_LE(q.q(r, c), 127);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gnnie

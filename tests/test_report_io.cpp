@@ -1,0 +1,85 @@
+// Tests for report JSON export: structural validity (balanced braces,
+// required keys), numeric fidelity, and per-layer content.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/engine.hpp"
+#include "core/report_io.hpp"
+#include "datasets/synthetic.hpp"
+#include "nn/model.hpp"
+
+namespace gnnie {
+namespace {
+
+InferenceReport make_report(GnnKind kind) {
+  Dataset d = generate_dataset(spec_of(DatasetId::kCora).scaled(0.05), 1);
+  ModelConfig m;
+  m.kind = kind;
+  m.input_dim = d.spec.feature_length;
+  m.hidden_dim = 16;
+  GnnWeights w = init_weights(m, 3);
+  GnnieEngine engine(EngineConfig::paper_default(false));
+  return engine.run(m, w, d.graph, d.features).report;
+}
+
+bool braces_balanced(const std::string& s) {
+  int depth = 0;
+  for (char c : s) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    if (depth < 0) return false;
+  }
+  return depth == 0;
+}
+
+TEST(ReportIo, JsonIsStructurallyValid) {
+  const std::string json = report_to_json(make_report(GnnKind::kGcn));
+  EXPECT_TRUE(braces_balanced(json));
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(ReportIo, ContainsRequiredKeys) {
+  const std::string json = report_to_json(make_report(GnnKind::kGcn));
+  for (const char* key :
+       {"\"total_cycles\"", "\"runtime_seconds\"", "\"effective_tops\"", "\"dram\"",
+        "\"row_hit_rate\"", "\"layers\"", "\"weighting\"", "\"aggregation\"",
+        "\"blocks_skipped\"", "\"rounds\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(ReportIo, NumbersMatchReport) {
+  InferenceReport rep = make_report(GnnKind::kGcn);
+  const std::string json = report_to_json(rep);
+  EXPECT_NE(json.find("\"total_cycles\":" + std::to_string(rep.total_cycles)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"total_macs\":" + std::to_string(rep.total_macs)),
+            std::string::npos);
+}
+
+TEST(ReportIo, GatIncludesAttentionSection) {
+  const std::string json = report_to_json(make_report(GnnKind::kGat));
+  EXPECT_NE(json.find("\"attention\""), std::string::npos);
+  EXPECT_EQ(report_to_json(make_report(GnnKind::kGcn)).find("\"attention\""),
+            std::string::npos);
+}
+
+TEST(ReportIo, GinIncludesSecondLinear) {
+  const std::string json = report_to_json(make_report(GnnKind::kGinConv));
+  EXPECT_NE(json.find("\"mlp2\""), std::string::npos);
+}
+
+TEST(ReportIo, LayerCountMatches) {
+  const std::string json = report_to_json(make_report(GnnKind::kGcn));
+  std::size_t count = 0, pos = 0;
+  while ((pos = json.find("\"weighting\"", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, 2u);  // two layers
+}
+
+}  // namespace
+}  // namespace gnnie

@@ -1,0 +1,169 @@
+// Unit + property tests for src/sparse: RLC codec roundtrips across the
+// sparsity spectrum (the paper's input features range from 48% to 99%+
+// zero), sparse row/matrix invariants, block nnz counting.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "sparse/rlc.hpp"
+#include "sparse/sparse_matrix.hpp"
+
+namespace gnnie {
+namespace {
+
+TEST(Rlc, RoundtripSimple) {
+  const std::vector<float> v{0, 0, 1.5f, 0, 2.5f, 0, 0, 0};
+  auto enc = rlc_encode(v);
+  EXPECT_EQ(rlc_decode(enc), v);
+}
+
+TEST(Rlc, EmptyVector) {
+  auto enc = rlc_encode(std::vector<float>{});
+  EXPECT_EQ(enc.dense_length(), 0u);
+  EXPECT_TRUE(rlc_decode(enc).empty());
+}
+
+TEST(Rlc, AllZeros) {
+  const std::vector<float> v(1000, 0.0f);
+  auto enc = rlc_encode(v);
+  EXPECT_EQ(rlc_decode(enc), v);
+  // 1000 zeros collapse to a handful of filler tokens.
+  EXPECT_LE(enc.tokens().size(), 5u);
+}
+
+TEST(Rlc, AllNonzero) {
+  std::vector<float> v(257);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<float>(i + 1);
+  auto enc = rlc_encode(v);
+  EXPECT_EQ(rlc_decode(enc), v);
+  EXPECT_EQ(enc.tokens().size(), v.size());
+}
+
+TEST(Rlc, LongInteriorRunOver255) {
+  std::vector<float> v(600, 0.0f);
+  v[0] = 1.0f;
+  v[400] = 2.0f;  // 399 zeros between values → needs a filler token
+  auto enc = rlc_encode(v);
+  EXPECT_EQ(rlc_decode(enc), v);
+}
+
+TEST(Rlc, RunOfExactly255And256) {
+  for (int run : {255, 256, 257, 511, 512}) {
+    std::vector<float> v(static_cast<std::size_t>(run) + 1, 0.0f);
+    v.back() = 7.0f;
+    auto enc = rlc_encode(v);
+    EXPECT_EQ(rlc_decode(enc), v) << "run=" << run;
+  }
+}
+
+TEST(Rlc, TrailingZeros) {
+  const std::vector<float> v{1.0f, 0, 0, 0};
+  auto enc = rlc_encode(v);
+  EXPECT_EQ(rlc_decode(enc), v);
+}
+
+TEST(Rlc, SingleElementVectors) {
+  for (float x : {0.0f, 3.25f}) {
+    const std::vector<float> v{x};
+    EXPECT_EQ(rlc_decode(rlc_encode(v)), v);
+  }
+}
+
+TEST(Rlc, CompressionRatioImprovesWithSparsity) {
+  Rng rng(5);
+  auto make = [&](double sparsity) {
+    std::vector<float> v(4096);
+    for (float& x : v) x = rng.next_bool(sparsity) ? 0.0f : 1.0f;
+    return rlc_encode(v).compression_ratio();
+  };
+  const double r50 = make(0.5);
+  const double r90 = make(0.9);
+  const double r99 = make(0.99);
+  EXPECT_GT(r90, r50);
+  EXPECT_GT(r99, r90);
+  EXPECT_GT(r99, 10.0);  // 99% sparse compresses >10×
+}
+
+TEST(Rlc, ByteSizeIsFiveBytesPerToken) {
+  const std::vector<float> v{0, 1.0f, 0, 2.0f};
+  auto enc = rlc_encode(v);
+  EXPECT_EQ(enc.byte_size(), enc.tokens().size() * 5u);
+}
+
+class RlcRoundtrip : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {};
+
+TEST_P(RlcRoundtrip, RandomVectorsSurviveRoundtrip) {
+  const auto [sparsity, seed] = GetParam();
+  Rng rng(seed);
+  const std::size_t len = 1 + rng.next_below(5000);
+  std::vector<float> v(len);
+  for (float& x : v) {
+    x = rng.next_bool(sparsity) ? 0.0f : static_cast<float>(rng.next_double(-5.0, 5.0));
+  }
+  EXPECT_EQ(rlc_decode(rlc_encode(v)), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SparsityGrid, RlcRoundtrip,
+    ::testing::Combine(::testing::Values(0.0, 0.1, 0.484, 0.9, 0.9873, 0.9915, 1.0),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(SparseRow, FromDenseRoundtrip) {
+  const std::vector<float> v{0, 1.0f, 0, 0, -2.0f, 0};
+  SparseRow r = SparseRow::from_dense(v);
+  EXPECT_EQ(r.nnz(), 2u);
+  EXPECT_EQ(r.length(), 6u);
+  EXPECT_EQ(r.to_dense(), v);
+}
+
+TEST(SparseRow, SparsityFraction) {
+  SparseRow r = SparseRow::from_dense(std::vector<float>{1, 0, 0, 0});
+  EXPECT_DOUBLE_EQ(r.sparsity(), 0.75);
+  SparseRow empty;
+  EXPECT_DOUBLE_EQ(empty.sparsity(), 1.0);
+}
+
+TEST(SparseRow, RejectsUnsortedOrOutOfRangeIndices) {
+  EXPECT_THROW(SparseRow({3, 1}, {1.0f, 2.0f}, 5), std::invalid_argument);
+  EXPECT_THROW(SparseRow({1, 1}, {1.0f, 2.0f}, 5), std::invalid_argument);
+  EXPECT_THROW(SparseRow({7}, {1.0f}, 5), std::invalid_argument);
+  EXPECT_THROW(SparseRow({1}, {1.0f, 2.0f}, 5), std::invalid_argument);
+}
+
+TEST(SparseRow, NnzInRangeMatchesBlocks) {
+  // nnz at indices 0, 3, 4, 9.
+  SparseRow r({0, 3, 4, 9}, {1, 1, 1, 1}, 12);
+  EXPECT_EQ(r.nnz_in_range(0, 4), 2u);
+  EXPECT_EQ(r.nnz_in_range(4, 8), 1u);
+  EXPECT_EQ(r.nnz_in_range(8, 12), 1u);
+  EXPECT_EQ(r.nnz_in_range(10, 12), 0u);
+  EXPECT_EQ(r.nnz_in_range(0, 12), 4u);
+}
+
+TEST(SparseMatrix, TotalsAndDense) {
+  std::vector<SparseRow> rows;
+  rows.push_back(SparseRow::from_dense(std::vector<float>{1, 0, 0}));
+  rows.push_back(SparseRow::from_dense(std::vector<float>{0, 2, 3}));
+  SparseMatrix m(std::move(rows), 3);
+  EXPECT_EQ(m.row_count(), 2u);
+  EXPECT_EQ(m.total_nnz(), 3u);
+  EXPECT_DOUBLE_EQ(m.sparsity(), 0.5);
+  EXPECT_EQ(m.to_dense(), (std::vector<float>{1, 0, 0, 0, 2, 3}));
+}
+
+TEST(SparseMatrix, RejectsRaggedRows) {
+  std::vector<SparseRow> rows;
+  rows.push_back(SparseRow::from_dense(std::vector<float>{1, 0}));
+  rows.push_back(SparseRow::from_dense(std::vector<float>{1, 0, 0}));
+  EXPECT_THROW(SparseMatrix(std::move(rows), 2), std::invalid_argument);
+}
+
+TEST(SparseMatrix, EmptyMatrix) {
+  SparseMatrix m;
+  EXPECT_EQ(m.row_count(), 0u);
+  EXPECT_DOUBLE_EQ(m.sparsity(), 1.0);
+}
+
+}  // namespace
+}  // namespace gnnie

@@ -1,0 +1,149 @@
+// Property sweeps for the Weighting engine across datasets × designs ×
+// optimization flags: conservation (useful MACs independent of schedule),
+// FM's bounded regression, LR's spread monotonicity, pass arithmetic, and
+// report self-consistency.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+#include <tuple>
+
+#include "core/weighting.hpp"
+#include "datasets/synthetic.hpp"
+#include "nn/model.hpp"
+
+namespace gnnie {
+namespace {
+
+struct SweepCase {
+  std::string dataset;
+  int design;  // 0=A .. 4=E
+};
+
+ArrayConfig design_by_index(int i) {
+  switch (i) {
+    case 0: return ArrayConfig::design_a();
+    case 1: return ArrayConfig::design_b();
+    case 2: return ArrayConfig::design_c();
+    case 3: return ArrayConfig::design_d();
+    default: return ArrayConfig::design_e();
+  }
+}
+
+const Dataset& cached_dataset(const std::string& name) {
+  static std::map<std::string, Dataset> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    it = cache.emplace(name, generate_dataset(spec_by_short_name(name).scaled(0.05), 17)).first;
+  }
+  return it->second;
+}
+
+class WeightingSweep
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {
+ protected:
+  WeightingReport run(bool binning, bool lr) {
+    const auto& [name, design] = GetParam();
+    const Dataset& d = cached_dataset(name);
+    EngineConfig cfg = EngineConfig::paper_default(true);
+    cfg.array = design_by_index(design);
+    cfg.opts.workload_binning = binning;
+    cfg.opts.load_redistribution = lr;
+    HbmModel hbm(cfg.hbm);
+    WeightingEngine eng(cfg, &hbm);
+    ModelConfig m;
+    m.kind = GnnKind::kGcn;
+    m.input_dim = d.spec.feature_length;
+    GnnWeights w = init_weights(m, 23);
+    WeightingReport rep;
+    eng.run(d.features, w.layers[0].w, &rep);
+    return rep;
+  }
+};
+
+TEST_P(WeightingSweep, UsefulMacsIndependentOfSchedule) {
+  const WeightingReport base = run(false, false);
+  const WeightingReport fm = run(true, false);
+  const WeightingReport fmlr = run(true, true);
+  EXPECT_EQ(base.macs, fm.macs);
+  EXPECT_EQ(base.macs, fmlr.macs);
+  EXPECT_EQ(base.blocks_total, fm.blocks_total);
+  EXPECT_EQ(base.blocks_skipped, fm.blocks_skipped);
+}
+
+TEST_P(WeightingSweep, FmNeverCatastrophicallyWorse) {
+  // The FM DP can lose a little to the base mapping when the base mapping
+  // is already balanced (contiguous-bin constraint), but never by much.
+  const WeightingReport base = run(false, false);
+  const WeightingReport fm = run(true, false);
+  EXPECT_LT(static_cast<double>(fm.compute_cycles),
+            1.10 * static_cast<double>(base.compute_cycles));
+}
+
+TEST_P(WeightingSweep, LrNeverIncreasesSpread) {
+  const WeightingReport fm = run(true, false);
+  const WeightingReport fmlr = run(true, true);
+  EXPECT_LE(fmlr.row_spread(), fm.row_spread());
+}
+
+TEST_P(WeightingSweep, ReportSelfConsistent) {
+  const WeightingReport rep = run(true, true);
+  EXPECT_EQ(rep.passes, 8u);  // 128 hidden / 16 columns
+  EXPECT_GE(rep.total_cycles, rep.compute_cycles > rep.memory_cycles
+                                  ? rep.compute_cycles
+                                  : rep.memory_cycles / rep.passes);
+  EXPECT_GE(rep.blocks_total, rep.blocks_skipped);
+  const Cycles max_row = *std::max_element(rep.row_cycles.begin(), rep.row_cycles.end());
+  // Per-pass compute (incl. stalls) must be at least the bottleneck row.
+  EXPECT_GE(rep.compute_cycles / rep.passes + 1, max_row);
+  EXPECT_GE(rep.row_imbalance(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DatasetsTimesDesigns, WeightingSweep,
+    ::testing::Combine(::testing::Values("CR", "CS", "PB", "PPI", "RD"),
+                       ::testing::Values(0, 2, 4)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_design" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(WeightingProperties, ZeroSkipSavingsMatchSparsity) {
+  // On a 99%-sparse input some blocks skip entirely, and — the bigger
+  // effect — surviving blocks cost ⌈z/|MAC|⌉ ≪ ⌈k/|MAC|⌉ cycles.
+  Dataset d = generate_dataset(spec_of(DatasetId::kCiteseer).scaled(0.1), 5);
+  EngineConfig cfg = EngineConfig::paper_default(false);
+  cfg.opts.workload_binning = false;
+  cfg.opts.load_redistribution = false;
+  HbmModel hbm(cfg.hbm);
+  WeightingEngine eng(cfg, &hbm);
+  ModelConfig m;
+  m.kind = GnnKind::kGcn;
+  m.input_dim = d.spec.feature_length;
+  GnnWeights w = init_weights(m, 3);
+  WeightingReport rep;
+  eng.run(d.features, w.layers[0].w, &rep);
+  EXPECT_GT(static_cast<double>(rep.blocks_skipped) / rep.blocks_total, 0.15);
+
+  EngineConfig noskip_cfg = cfg;
+  noskip_cfg.opts.zero_skip = false;
+  HbmModel hbm2(noskip_cfg.hbm);
+  WeightingEngine noskip(noskip_cfg, &hbm2);
+  WeightingReport noskip_rep;
+  noskip.run(d.features, w.layers[0].w, &noskip_rep);
+  EXPECT_GT(noskip_rep.compute_cycles, 10 * rep.compute_cycles);
+}
+
+TEST(WeightingProperties, DenseInputSkipsNothing) {
+  Matrix h(40, 64, 1.0f);  // fully dense
+  Matrix w(64, 16, 0.5f);
+  EngineConfig cfg = EngineConfig::paper_default(false);
+  HbmModel hbm(cfg.hbm);
+  WeightingEngine eng(cfg, &hbm);
+  WeightingReport rep;
+  eng.run(h, w, &rep);
+  EXPECT_EQ(rep.blocks_skipped, 0u);
+}
+
+}  // namespace
+}  // namespace gnnie
