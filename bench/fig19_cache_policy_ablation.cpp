@@ -36,24 +36,20 @@ int main(int argc, char** argv) {
     task.hw = &hw;
     task.kind = AggKind::kGcnNormalizedSum;
 
-    const struct {
-      const char* mode;
-      bool cp;
-      bool on_demand;
-    } modes[] = {{"degree-aware (CP)", true, false},
-                 {"ID-order machinery", false, false},
-                 {"on-demand LRU", false, true}};
-    for (const auto& m : modes) {
+    // The three regimes are the three CachePolicy implementations — the
+    // ablation selects them through the interface, not config booleans.
+    for (CachePolicyKind kind : all_cache_policy_kinds()) {
       EngineConfig cfg = EngineConfig::paper_default(spec.vertices > 10000);
-      cfg.opts.degree_aware_cache = m.cp;
-      cfg.cache.on_demand_baseline = m.on_demand;
+      auto policy = CachePolicy::make(kind);
+      AggregationTask run_task = task;
+      run_task.policy = policy.get();
       HbmModel hbm(cfg.hbm);
       AggregationEngine eng(cfg, &hbm);
       AggregationReport rep;
-      eng.run(task, &rep);
+      eng.run(run_task, &rep);
       char hit[32];
       std::snprintf(hit, sizeof(hit), "%.1f%%", 100.0 * hbm.stats().row_hit_rate());
-      t.add_row({bench::scale_note(spec, scale), m.mode, Table::cell(rep.total_cycles),
+      t.add_row({bench::scale_note(spec, scale), policy->name(), Table::cell(rep.total_cycles),
                  Table::cell(rep.dram_bytes / 1048576.0), hit,
                  Table::cell(rep.random_dram_accesses), Table::cell(rep.rounds)});
     }

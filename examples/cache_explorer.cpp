@@ -19,21 +19,23 @@ int main() {
   task.hw = &hw;
   task.kind = AggKind::kGcnNormalizedSum;
 
-  // A buffer much smaller than the graph, so the policy has to work.
-  auto run_with = [&](std::uint32_t gamma, bool cp, bool on_demand, AggregationReport& rep) {
+  // A buffer much smaller than the graph, so the policy has to work. The
+  // cache behavior is a CachePolicy instance, not a config boolean.
+  auto run_with = [&](std::uint32_t gamma, CachePolicyKind kind, AggregationReport& rep) {
     EngineConfig cfg = EngineConfig::paper_default(false);
     cfg.buffers.input = 48u << 10;
     cfg.cache.gamma = gamma;
-    cfg.opts.degree_aware_cache = cp;
-    cfg.cache.on_demand_baseline = on_demand;
+    auto policy = CachePolicy::make(kind);
+    AggregationTask run_task = task;
+    run_task.policy = policy.get();
     HbmModel hbm(cfg.hbm);
     AggregationEngine eng(cfg, &hbm);
-    eng.run(task, &rep);
+    eng.run(run_task, &rep);
   };
 
   std::printf("=== alpha histograms across Rounds (gamma=5) ===\n");
   AggregationReport rep;
-  run_with(5, true, false, rep);
+  run_with(5, CachePolicyKind::kDegreeAware, rep);
   for (std::size_t r = 0; r < rep.alpha_round_histograms.size() && r < 4; ++r) {
     const Histogram& h = rep.alpha_round_histograms[r];
     std::printf("Round %zu: peak=%llu, max alpha <= %.0f\n", r, (unsigned long long)h.peak(),
@@ -45,7 +47,7 @@ int main() {
   Table t({"gamma", "DRAM MB", "evictions", "refetches", "rounds", "escalations"});
   for (std::uint32_t g : {1u, 2u, 5u, 10u, 20u}) {
     AggregationReport r;
-    run_with(g, true, false, r);
+    run_with(g, CachePolicyKind::kDegreeAware, r);
     t.add_row({Table::cell(std::uint64_t{g}), Table::cell(r.dram_bytes / 1048576.0),
                Table::cell(r.evictions), Table::cell(r.refetches), Table::cell(r.rounds),
                Table::cell(r.gamma_escalations)});
@@ -54,7 +56,7 @@ int main() {
 
   std::printf("=== policy vs no-cache baseline ===\n");
   AggregationReport base;
-  run_with(5, false, true, base);
+  run_with(5, CachePolicyKind::kOnDemand, base);
   std::printf("degree-aware policy: %llu cycles, %llu random DRAM accesses\n",
               (unsigned long long)rep.total_cycles,
               (unsigned long long)rep.random_dram_accesses);

@@ -1,13 +1,16 @@
 // Scenario: a citation-network analysis service choosing a GNN for its
 // accuracy/latency budget (the paper's Fig. 1 motivation — GATs are most
-// accurate but costliest). Runs all five supported GNNs on the three
-// citation datasets and prints a latency/energy menu.
+// accurate but costliest). Each candidate model is compiled once per
+// accelerator config and each dataset graph planned once; the runs reuse
+// the plan — the serving lifecycle a deployed service would follow. Prints
+// a latency/energy menu across all five supported GNNs and the three
+// citation datasets.
 //
 //   $ ./example_citation_inference
 #include <cstdio>
 
 #include "common/table.hpp"
-#include "core/engine.hpp"
+#include "core/serving.hpp"
 #include "datasets/synthetic.hpp"
 #include "energy/energy_model.hpp"
 #include "nn/layers.hpp"
@@ -20,19 +23,24 @@ int main() {
   for (const char* name : {"CR", "CS", "PB"}) {
     const DatasetSpec& spec = spec_by_short_name(name);
     Dataset data = generate_dataset(spec, 1);
+    Engine engine(EngineConfig::paper_default(spec.vertices > 10000));
     for (GnnKind kind : all_gnn_kinds()) {
       ModelConfig model;
       model.kind = kind;
       model.input_dim = spec.feature_length;
       GnnWeights weights = init_weights(model, 7);
+
+      // Compile once per (model, config); plan the dataset graph once.
+      CompiledModel compiled = engine.compile(model, weights);
       std::vector<Csr> sampled;
       if (kind == GnnKind::kGraphSage) {
         for (std::uint32_t l = 0; l < model.num_layers; ++l) {
           sampled.push_back(sample_neighborhood(data.graph, model.sample_size, 100 + l));
         }
       }
-      GnnieEngine engine(EngineConfig::paper_default(spec.vertices > 10000));
-      InferenceResult res = engine.run(model, weights, data.graph, data.features, sampled);
+      GraphPlanPtr plan = compiled.plan(data.graph, std::move(sampled));
+
+      InferenceResult res = compiled.run({plan, &data.features});
       EnergyBreakdown e = compute_energy(res.report);
       t.add_row({name, to_string(kind), Table::cell(res.report.runtime_seconds() * 1e6),
                  Table::cell(res.report.effective_tops()), Table::cell(e.total() * 1e6),

@@ -114,33 +114,6 @@ struct FunctionalState {
   }
 };
 
-/// Reverse adjacency with forward-edge indices, for directed tasks: for
-/// vertex u, lists (x, forward_edge_index) pairs such that u appears in
-/// x's neighbor list at that index.
-struct ReverseAdjacency {
-  std::vector<EdgeId> offsets;
-  std::vector<VertexId> sources;
-  std::vector<EdgeId> forward_index;
-
-  explicit ReverseAdjacency(const Csr& g) {
-    offsets.assign(static_cast<std::size_t>(g.vertex_count()) + 1, 0);
-    for (VertexId n : g.neighbor_array()) ++offsets[n + 1];
-    for (std::size_t v = 1; v < offsets.size(); ++v) offsets[v] += offsets[v - 1];
-    sources.resize(g.edge_count());
-    forward_index.resize(g.edge_count());
-    std::vector<EdgeId> cursor(offsets.begin(), offsets.end() - 1);
-    for (VertexId x = 0; x < g.vertex_count(); ++x) {
-      const EdgeId base = g.offsets()[x];
-      auto nb = g.neighbors(x);
-      for (std::size_t i = 0; i < nb.size(); ++i) {
-        const EdgeId slot = cursor[nb[i]]++;
-        sources[slot] = x;
-        forward_index[slot] = base + static_cast<EdgeId>(i);
-      }
-    }
-  }
-};
-
 /// Per-accumulation CPE cycle cost: an F-wide add/MAC pass on a CPE with
 /// `macs` lanes.
 std::uint64_t accum_cycles(std::size_t f, std::uint32_t macs) {
@@ -148,6 +121,24 @@ std::uint64_t accum_cycles(std::size_t f, std::uint32_t macs) {
 }
 
 }  // namespace
+
+ReverseAdjacency::ReverseAdjacency(const Csr& g) {
+  offsets.assign(static_cast<std::size_t>(g.vertex_count()) + 1, 0);
+  for (VertexId n : g.neighbor_array()) ++offsets[n + 1];
+  for (std::size_t v = 1; v < offsets.size(); ++v) offsets[v] += offsets[v - 1];
+  sources.resize(g.edge_count());
+  forward_index.resize(g.edge_count());
+  std::vector<EdgeId> cursor(offsets.begin(), offsets.end() - 1);
+  for (VertexId x = 0; x < g.vertex_count(); ++x) {
+    const EdgeId base = g.offsets()[x];
+    auto nb = g.neighbors(x);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      const EdgeId slot = cursor[nb[i]]++;
+      sources[slot] = x;
+      forward_index[slot] = base + static_cast<EdgeId>(i);
+    }
+  }
+}
 
 AggregationEngine::AggregationEngine(const EngineConfig& config, HbmModel* hbm,
                                      const DramLayout& layout)
@@ -185,17 +176,29 @@ Matrix AggregationEngine::run(const AggregationTask& task, AggregationReport* re
                       task.e2->size() == want,
                   "GAT aggregation needs per-vertex, per-head e1/e2");
   }
+  GNNIE_REQUIRE((task.order == nullptr) == (task.positions == nullptr),
+                "precomputed order and positions must be provided together");
   AggregationReport local;
   AggregationReport& rep = report != nullptr ? *report : local;
   rep = AggregationReport{};
   rep.cache_capacity_vertices = cache_capacity(task);
-  if (!config_.opts.degree_aware_cache && config_.cache.on_demand_baseline) {
-    return run_id_order_baseline(task, rep);
+
+  const CachePolicy* policy = task.policy;
+  std::unique_ptr<CachePolicy> owned_policy;
+  if (policy == nullptr) {
+    // Deprecated path: derive the policy from the legacy config booleans.
+    owned_policy = CachePolicy::make(CachePolicy::kind_from_flags(config_.opts, config_.cache));
+    policy = owned_policy.get();
   }
-  return run_policy(task, rep);
+  rep.policy = policy->kind();
+  if (!policy->uses_subgraph_machinery()) {
+    return run_on_demand(task, rep);
+  }
+  return run_subgraph(task, *policy, rep);
 }
 
-Matrix AggregationEngine::run_policy(const AggregationTask& task, AggregationReport& rep) {
+Matrix AggregationEngine::run_subgraph(const AggregationTask& task, const CachePolicy& policy,
+                                       AggregationReport& rep) {
   const Csr& g = *task.graph;
   const std::size_t f = task.hw->cols();
   const VertexId v_count = g.vertex_count();
@@ -205,19 +208,28 @@ Matrix AggregationEngine::run_policy(const AggregationTask& task, AggregationRep
     return std::move(state.out);
   }
 
-  // Preprocessing (§VI): vertices in DRAM in descending-degree-bin order
-  // (CP); the §VIII-E baseline lays them out in plain ID order instead.
-  std::vector<VertexId> order;
-  if (config_.opts.degree_aware_cache) {
-    order = degree_descending_order(g);
-  } else {
-    order.resize(v_count);
-    for (VertexId v = 0; v < v_count; ++v) order[v] = v;
+  // Preprocessing (§VI): the DRAM layout order comes from the cache policy
+  // — descending-degree-bin order for CP, plain ID order for the §VIII-E
+  // baseline. A GraphPlan hands the order in precomputed; one-shot callers
+  // pay the policy's layout pass here.
+  std::vector<VertexId> order_storage;
+  std::vector<VertexId> position_storage;
+  if (task.order == nullptr) {
+    order_storage = policy.layout_order(g);
+    position_storage = order_positions(order_storage);
   }
-  std::vector<VertexId> position = order_positions(order);
+  const std::vector<VertexId>& order = task.order != nullptr ? *task.order : order_storage;
+  const std::vector<VertexId>& position =
+      task.positions != nullptr ? *task.positions : position_storage;
+  GNNIE_REQUIRE(order.size() == v_count && position.size() == v_count,
+                "layout order must cover every vertex");
 
-  std::unique_ptr<ReverseAdjacency> rev;
-  if (task.directed) rev = std::make_unique<ReverseAdjacency>(g);
+  const ReverseAdjacency* rev = task.reverse;
+  std::unique_ptr<ReverseAdjacency> owned_rev;
+  if (task.directed && rev == nullptr) {
+    owned_rev = std::make_unique<ReverseAdjacency>(g);
+    rev = owned_rev.get();
+  }
 
   // α_i = unprocessed edge endpoints at vertex i.
   std::vector<std::uint32_t> alpha(v_count);
@@ -756,8 +768,7 @@ Matrix AggregationEngine::run_policy(const AggregationTask& task, AggregationRep
   return std::move(state.out);
 }
 
-Matrix AggregationEngine::run_id_order_baseline(const AggregationTask& task,
-                                                AggregationReport& rep) {
+Matrix AggregationEngine::run_on_demand(const AggregationTask& task, AggregationReport& rep) {
   const Csr& g = *task.graph;
   const std::size_t f = task.hw->cols();
   const VertexId v_count = g.vertex_count();

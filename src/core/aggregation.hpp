@@ -1,19 +1,25 @@
 // Edge Aggregation on the CPE array (§V-C) driven by the graph-specific
 // cache policy (§VI).
 //
-// Policy mode (CP): vertices live in DRAM in descending-degree-bin order
-// (degree_descending_order). The input buffer holds n of them — the current
-// *subgraph*. Each iteration processes every unprocessed edge whose
-// endpoints are both cached, decrementing each endpoint's unprocessed-edge count
-// α. Vertices with α < γ are evicted (dictionary order, r per iteration)
-// and replaced by the next vertices in the DRAM order; fully-processed
-// vertices and cache blocks are skipped. A pass over the whole order is a
-// Round (Fig. 10 histograms are recorded at Round boundaries). All DRAM
-// fetches walk forward through the layout — sequential by construction.
+// Subgraph mode (policies with uses_subgraph_machinery()): vertices live in
+// DRAM in the policy's layout_order() — descending-degree-bin order for the
+// degree-aware policy (CP), plain vertex-id order for the §VIII-E ID-order
+// baseline. The input buffer holds n of them — the current *subgraph*. Each
+// iteration processes every unprocessed edge whose endpoints are both
+// cached, decrementing each endpoint's unprocessed-edge count α. Vertices
+// with α < γ are evicted (dictionary order, r per iteration) and replaced
+// by the next vertices in the DRAM order; fully-processed vertices and
+// cache blocks are skipped. A pass over the whole order is a Round (Fig. 10
+// histograms are recorded at Round boundaries). All DRAM fetches walk
+// forward through the layout — sequential by construction.
 //
-// Baseline mode (no CP, §VIII-E): vertices are processed in ID order and
-// each vertex pulls its neighbors' ηw on demand; misses in the FIFO-managed
-// input buffer become individual random DRAM reads.
+// On-demand mode (the kOnDemand policy): vertices are processed in ID order
+// and each vertex pulls its neighbors' ηw on demand; misses in the
+// LRU-managed input buffer become individual random DRAM reads.
+//
+// The policy comes from AggregationTask::policy (the serving path binds it
+// from the GraphPlan); tasks without one fall back to the deprecated
+// OptimizationFlags/CacheConfig booleans via CachePolicy::kind_from_flags.
 //
 // The engine is functional (produces the aggregated feature matrix for the
 // GNN kind at hand) and timed (cycles, DRAM traffic, α histograms).
@@ -23,12 +29,25 @@
 #include <vector>
 
 #include "common/histogram.hpp"
+#include "core/cache_policy.hpp"
 #include "core/engine_config.hpp"
 #include "graph/csr.hpp"
 #include "mem/hbm.hpp"
 #include "nn/matrix.hpp"
 
 namespace gnnie {
+
+/// Reverse adjacency with forward-edge indices, for directed tasks: for
+/// vertex u, lists (x, forward_edge_index) pairs such that u appears in
+/// x's neighbor list at that index. Precomputable once per graph (the
+/// GraphPlan binds one per sampled adjacency) and reusable across runs.
+struct ReverseAdjacency {
+  std::vector<EdgeId> offsets;
+  std::vector<VertexId> sources;
+  std::vector<EdgeId> forward_index;
+
+  explicit ReverseAdjacency(const Csr& g);
+};
 
 enum class AggKind {
   kGcnNormalizedSum,  ///< Σ hw_j/√(d̃i·d̃j), self loop included (GCN)
@@ -51,6 +70,16 @@ struct AggregationTask {
   const std::vector<float>* e2 = nullptr;
   std::uint32_t gat_heads = 1;
   float leaky_slope = 0.2f;
+  /// Cache policy driving layout and fetch behavior. Null → derived from
+  /// the deprecated config booleans (legacy GnnieEngine path).
+  const CachePolicy* policy = nullptr;
+  /// Precomputed layout order / inverse positions (GraphPlan reuse). Must
+  /// be consistent with `policy->layout_order(*graph)`; null → computed on
+  /// the fly. Both or neither must be set.
+  const std::vector<VertexId>* order = nullptr;
+  const std::vector<VertexId>* positions = nullptr;
+  /// Precomputed reverse adjacency for directed tasks; null → built here.
+  const ReverseAdjacency* reverse = nullptr;
 };
 
 struct AggregationReport {
@@ -74,6 +103,8 @@ struct AggregationReport {
   bool livelock_sweep = false;
   std::uint32_t final_gamma = 0;
   std::uint64_t cache_capacity_vertices = 0;
+  /// Which cache policy actually drove the run.
+  CachePolicyKind policy = CachePolicyKind::kDegreeAware;
   /// α histogram over cached vertices at each Round boundary (Fig. 10).
   std::vector<Histogram> alpha_round_histograms;
 };
@@ -82,16 +113,18 @@ class AggregationEngine {
  public:
   AggregationEngine(const EngineConfig& config, HbmModel* hbm, const DramLayout& layout = {});
 
-  /// Runs aggregation per the configured policy (config.opts.degree_aware_cache
-  /// selects CP vs ID-order baseline). Returns the aggregated matrix.
+  /// Runs aggregation under the task's CachePolicy (falling back to the
+  /// deprecated config booleans when task.policy is null). Returns the
+  /// aggregated matrix.
   Matrix run(const AggregationTask& task, AggregationReport* report = nullptr);
 
   /// Input-buffer capacity in vertices for a task (exposed for tests).
   std::uint64_t cache_capacity(const AggregationTask& task) const;
 
  private:
-  Matrix run_policy(const AggregationTask& task, AggregationReport& rep);
-  Matrix run_id_order_baseline(const AggregationTask& task, AggregationReport& rep);
+  Matrix run_subgraph(const AggregationTask& task, const CachePolicy& policy,
+                      AggregationReport& rep);
+  Matrix run_on_demand(const AggregationTask& task, AggregationReport& rep);
 
   const EngineConfig& config_;
   HbmModel* hbm_;

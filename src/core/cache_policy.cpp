@@ -1,0 +1,79 @@
+#include "core/cache_policy.hpp"
+
+#include <numeric>
+
+#include "common/require.hpp"
+#include "graph/reorder.hpp"
+
+namespace gnnie {
+
+const char* to_string(CachePolicyKind kind) {
+  switch (kind) {
+    case CachePolicyKind::kDegreeAware: return "degree-aware";
+    case CachePolicyKind::kIdOrder: return "id-order";
+    case CachePolicyKind::kOnDemand: return "on-demand";
+  }
+  return "?";
+}
+
+const std::vector<CachePolicyKind>& all_cache_policy_kinds() {
+  static const std::vector<CachePolicyKind> kinds = {
+      CachePolicyKind::kDegreeAware, CachePolicyKind::kIdOrder, CachePolicyKind::kOnDemand};
+  return kinds;
+}
+
+namespace {
+
+/// CP (§VI): descending-degree-bin layout + subgraph machinery.
+class DegreeAwarePolicy final : public CachePolicy {
+ public:
+  CachePolicyKind kind() const override { return CachePolicyKind::kDegreeAware; }
+  const char* name() const override { return "degree-aware"; }
+  bool uses_subgraph_machinery() const override { return true; }
+  std::vector<VertexId> layout_order(const Csr& g) const override {
+    return degree_descending_order(g);
+  }
+};
+
+/// §VIII-E baseline: subgraph machinery over a plain vertex-ID layout.
+class IdOrderPolicy final : public CachePolicy {
+ public:
+  CachePolicyKind kind() const override { return CachePolicyKind::kIdOrder; }
+  const char* name() const override { return "id-order"; }
+  bool uses_subgraph_machinery() const override { return true; }
+  std::vector<VertexId> layout_order(const Csr& g) const override {
+    std::vector<VertexId> order(g.vertex_count());
+    std::iota(order.begin(), order.end(), VertexId{0});
+    return order;
+  }
+};
+
+/// HyGCN-style on-demand pulls through an LRU input buffer. No layout:
+/// every layout_order() caller is gated on uses_subgraph_machinery().
+class OnDemandPolicy final : public CachePolicy {
+ public:
+  CachePolicyKind kind() const override { return CachePolicyKind::kOnDemand; }
+  const char* name() const override { return "on-demand"; }
+  bool uses_subgraph_machinery() const override { return false; }
+  std::vector<VertexId> layout_order(const Csr&) const override { return {}; }
+};
+
+}  // namespace
+
+std::unique_ptr<CachePolicy> CachePolicy::make(CachePolicyKind kind) {
+  switch (kind) {
+    case CachePolicyKind::kDegreeAware: return std::make_unique<DegreeAwarePolicy>();
+    case CachePolicyKind::kIdOrder: return std::make_unique<IdOrderPolicy>();
+    case CachePolicyKind::kOnDemand: return std::make_unique<OnDemandPolicy>();
+  }
+  GNNIE_REQUIRE(false, "unknown cache policy kind");
+  return nullptr;  // unreachable
+}
+
+CachePolicyKind CachePolicy::kind_from_flags(const OptimizationFlags& opts,
+                                             const CacheConfig& cache) {
+  if (opts.degree_aware_cache) return CachePolicyKind::kDegreeAware;
+  return cache.on_demand_baseline ? CachePolicyKind::kOnDemand : CachePolicyKind::kIdOrder;
+}
+
+}  // namespace gnnie

@@ -1,0 +1,58 @@
+// Pluggable cache-allocation policies for edge Aggregation (§VI and the
+// §VIII-E ablation). A CachePolicy decides (a) how vertices are laid out in
+// DRAM — i.e. in what order the subgraph machinery fetches them — and (b)
+// whether the subgraph machinery runs at all, or vertices instead pull
+// their neighbors on demand through an LRU input buffer (the HyGCN-style
+// "no graph-specific caching" reference).
+//
+// The three shipped policies are the paper's three cache regimes:
+//   * degree-aware (CP, §VI): descending-degree-bin layout, subgraph
+//     machinery — the GNNIE proposal;
+//   * ID-order: same machinery over a plain vertex-ID layout — isolates
+//     the layout's contribution from the machinery's;
+//   * on-demand: per-vertex neighbor pulls, random DRAM on miss — the
+//     HyGCN-style baseline.
+//
+// AggregationEngine dispatches through this interface; the deprecated
+// OptimizationFlags::degree_aware_cache / CacheConfig::on_demand_baseline
+// booleans are mapped through kind_from_flags() for legacy callers.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/engine_config.hpp"
+#include "graph/csr.hpp"
+
+namespace gnnie {
+
+enum class CachePolicyKind { kDegreeAware, kIdOrder, kOnDemand };
+
+const char* to_string(CachePolicyKind kind);
+const std::vector<CachePolicyKind>& all_cache_policy_kinds();
+
+class CachePolicy {
+ public:
+  virtual ~CachePolicy() = default;
+
+  virtual CachePolicyKind kind() const = 0;
+  virtual const char* name() const = 0;
+
+  /// True: aggregation runs the cached-subgraph machinery (evictions, γ,
+  /// Rounds) over layout_order(). False: the on-demand pull engine runs
+  /// instead and layout_order() is irrelevant.
+  virtual bool uses_subgraph_machinery() const = 0;
+
+  /// DRAM layout = processing order: order[i] is the vertex fetched i-th.
+  virtual std::vector<VertexId> layout_order(const Csr& g) const = 0;
+
+  static std::unique_ptr<CachePolicy> make(CachePolicyKind kind);
+
+  /// Mapping from the deprecated config booleans, for callers still on the
+  /// GnnieEngine shim: degree_aware_cache → kDegreeAware; otherwise
+  /// on_demand_baseline picks kOnDemand over kIdOrder.
+  static CachePolicyKind kind_from_flags(const OptimizationFlags& opts,
+                                         const CacheConfig& cache);
+};
+
+}  // namespace gnnie

@@ -1,232 +1,24 @@
 #include "core/engine.hpp"
 
-#include <algorithm>
-
-#include "common/require.hpp"
-#include "nn/ops.hpp"
-
 namespace gnnie {
 
-double InferenceReport::effective_tops() const {
-  const Seconds s = runtime_seconds();
-  if (s <= 0.0) return 0.0;
-  const double ops = 2.0 * static_cast<double>(total_macs) +
-                     static_cast<double>(total_sfu_ops);
-  return ops / s / 1e12;
-}
-
-GnnieEngine::GnnieEngine(EngineConfig config)
-    : config_(std::move(config)), hbm_(config_.hbm) {
-  config_.validate();
-}
-
-double GnnieEngine::peak_tops() const {
-  return 2.0 * static_cast<double>(config_.array.total_macs()) * config_.clock_hz / 1e12;
-}
-
-Cycles GnnieEngine::activation_cost(std::size_t elements) const {
-  // The Activation unit applies σ as results stream to the output buffer —
-  // one element per CPE-column lane per cycle.
-  const std::uint64_t lanes = config_.array.total_cpes();
-  return (elements + lanes - 1) / lanes;
-}
-
-namespace {
-
-void add_bias_inplace(Matrix& m, const std::vector<float>& bias) {
-  GNNIE_REQUIRE(bias.size() == m.cols(), "bias width mismatch");
-  for (std::size_t r = 0; r < m.rows(); ++r) {
-    auto row = m.row(r);
-    for (std::size_t c = 0; c < row.size(); ++c) row[c] += bias[c];
-  }
-}
-
-Matrix transpose(const Matrix& m) {
-  Matrix t(m.cols(), m.rows());
-  for (std::size_t r = 0; r < m.rows(); ++r) {
-    for (std::size_t c = 0; c < m.cols(); ++c) t.at(c, r) = m.at(r, c);
-  }
-  return t;
-}
-
-std::uint64_t macs_of(const AggregationReport& rep, std::size_t f) {
-  return rep.accum_ops * f;
-}
-
-}  // namespace
-
-Matrix GnnieEngine::run_layer(const ModelConfig& model, const LayerWeights& lw, const Csr& g,
-                              const Csr* sampled, const Matrix* dense_in,
-                              const SparseMatrix* sparse_in, bool final_activation,
-                              LayerReport& lr) {
-  WeightingEngine weighting(config_, &hbm_, layout_);
-  AggregationEngine aggregation(config_, &hbm_, layout_);
-
-  // --- Weighting: ηw = h · W (weighting-first, §III Eq. 5). ---
-  Matrix hw = sparse_in != nullptr ? weighting.run(*sparse_in, lw.w, &lr.weighting)
-                                   : weighting.run(*dense_in, lw.w, &lr.weighting);
-  lr.total_cycles += lr.weighting.total_cycles;
-
-  // --- GAT attention partial products (Eq. 7). ---
-  AttentionResult att;
-  if (model.kind == GnnKind::kGat) {
-    AttentionEngine attention(config_, &hbm_, layout_);
-    AttentionReport arep;
-    att = attention.run(hw, lw.a1, lw.a2, &arep, model.gat_heads);
-    lr.attention = arep;
-    lr.total_cycles += arep.total_cycles;
-  }
-
-  // --- Edge aggregation, driven by the cache policy. ---
-  AggregationTask task;
-  task.hw = &hw;
-  switch (model.kind) {
-    case GnnKind::kGcn:
-    case GnnKind::kDiffPool:
-      task.graph = &g;
-      task.kind = AggKind::kGcnNormalizedSum;
-      break;
-    case GnnKind::kGraphSage:
-      GNNIE_REQUIRE(sampled != nullptr, "GraphSAGE needs a sampled adjacency");
-      task.graph = sampled;
-      task.directed = true;
-      task.kind = AggKind::kMax;
-      break;
-    case GnnKind::kGat:
-      task.graph = &g;
-      task.kind = AggKind::kGatSoftmax;
-      task.e1 = &att.e1;
-      task.e2 = &att.e2;
-      task.gat_heads = model.gat_heads;
-      task.leaky_slope = model.leaky_slope;
-      break;
-    case GnnKind::kGinConv:
-      task.graph = &g;
-      task.kind = AggKind::kPlainSum;
-      task.self_weight = 1.0f + model.gin_eps;
-      break;
-  }
-  Matrix out = aggregation.run(task, &lr.aggregation);
-  lr.total_cycles += lr.aggregation.total_cycles;
-
-  // --- GIN: the rest of the MLP — bias, ReLU, second dense linear. ---
-  if (model.kind == GnnKind::kGinConv) {
-    add_bias_inplace(out, lw.b1);
-    relu_inplace(out);
-    lr.activation_cycles += activation_cost(out.data().size());
-    WeightingReport w2rep;
-    out = weighting.run(out, lw.w2, &w2rep);
-    lr.mlp2 = w2rep;
-    lr.total_cycles += w2rep.total_cycles;
-    add_bias_inplace(out, lw.b2);
-  }
-
-  if (final_activation) {
-    relu_inplace(out);
-    lr.activation_cycles += activation_cost(out.data().size());
-  }
-  lr.total_cycles += lr.activation_cycles;
-  return out;
-}
-
-Matrix GnnieEngine::run_diffpool(const ModelConfig& model, const GnnWeights& weights,
-                                 const Csr& g, const SparseMatrix& x0, InferenceReport& rep) {
-  // Embedding GNN (Eq. 3): GCN layers with ReLU.
-  Matrix z;
-  for (std::size_t l = 0; l < weights.layers.size(); ++l) {
-    LayerReport lr;
-    z = run_layer(model, weights.layers[l], g, nullptr, l == 0 ? nullptr : &z,
-                  l == 0 ? &x0 : nullptr, /*final_activation=*/true, lr);
-    rep.total_cycles += lr.total_cycles;
-    rep.layers.push_back(std::move(lr));
-  }
-  // Pooling GNN (Eq. 4): GCN layers; the last one emits logits → softmax.
-  Matrix s;
-  for (std::size_t l = 0; l < weights.pool_layers.size(); ++l) {
-    const bool last = l + 1 == weights.pool_layers.size();
-    LayerReport lr;
-    s = run_layer(model, weights.pool_layers[l], g, nullptr, l == 0 ? nullptr : &s,
-                  l == 0 ? &x0 : nullptr, /*final_activation=*/!last, lr);
-    rep.total_cycles += lr.total_cycles;
-    rep.layers.push_back(std::move(lr));
-  }
-  row_softmax_inplace(s);  // SFU exp + divide per assignment entry
-  const std::uint64_t softmax_ops = 2ull * s.rows() * s.cols();
-  const Cycles softmax_cycles =
-      (softmax_ops + config_.sfu_lanes - 1) / config_.sfu_lanes + config_.sfu.exp_latency;
-
-  // Coarsening: Xc = SᵀZ and Ac = Sᵀ(ÃS) — dense matmuls on the CPE array
-  // plus one more aggregation pass for ÃS.
-  LayerReport coarsen;
-  WeightingEngine weighting(config_, &hbm_, layout_);
-  AggregationEngine aggregation(config_, &hbm_, layout_);
-  const Matrix st = transpose(s);
-
-  Matrix xc = weighting.run(st, z, &coarsen.weighting);
-  coarsen.total_cycles += coarsen.weighting.total_cycles;
-
-  AggregationTask as_task;
-  as_task.graph = &g;
-  as_task.hw = &s;
-  as_task.kind = AggKind::kGcnNormalizedSum;
-  Matrix as = aggregation.run(as_task, &coarsen.aggregation);
-  coarsen.total_cycles += coarsen.aggregation.total_cycles;
-
-  WeightingReport ac_rep;
-  Matrix ac = weighting.run(st, as, &ac_rep);
-  coarsen.mlp2 = ac_rep;
-  coarsen.total_cycles += ac_rep.total_cycles + softmax_cycles;
-  coarsen.activation_cycles = softmax_cycles;
-  rep.total_cycles += coarsen.total_cycles;
-  rep.total_sfu_ops += softmax_ops;
-  rep.layers.push_back(std::move(coarsen));
-
-  (void)ac;  // Ac feeds the next DiffPool level; the evaluation reports Xc.
-  return xc;
-}
+GnnieEngine::GnnieEngine(EngineConfig config) : engine_(std::move(config)) {}
 
 InferenceResult GnnieEngine::run(const ModelConfig& model, const GnnWeights& weights,
                                  const Csr& g, const SparseMatrix& x0,
                                  const std::vector<Csr>& sampled_per_layer) {
-  GNNIE_REQUIRE(x0.row_count() == g.vertex_count(), "features/graph mismatch");
-  GNNIE_REQUIRE(x0.col_count() == model.input_dim, "features must match model.input_dim");
-  GNNIE_REQUIRE(weights.layers.size() == model.num_layers, "weights/config layer mismatch");
-  if (model.kind == GnnKind::kGraphSage) {
-    GNNIE_REQUIRE(sampled_per_layer.size() == model.num_layers,
-                  "GraphSAGE needs one sampled adjacency per layer");
-  }
-
-  InferenceResult result;
-  InferenceReport& rep = result.report;
-  rep.clock_hz = config_.clock_hz;
-
-  if (model.kind == GnnKind::kDiffPool) {
-    result.output = run_diffpool(model, weights, g, x0, rep);
-  } else {
-    Matrix h;
-    for (std::uint32_t l = 0; l < model.num_layers; ++l) {
-      LayerReport lr;
-      const Csr* sampled =
-          model.kind == GnnKind::kGraphSage ? &sampled_per_layer[l] : nullptr;
-      h = run_layer(model, weights.layers[l], g, sampled, l == 0 ? nullptr : &h,
-                    l == 0 ? &x0 : nullptr, /*final_activation=*/true, lr);
-      rep.total_cycles += lr.total_cycles;
-      rep.layers.push_back(std::move(lr));
-    }
-    result.output = std::move(h);
-  }
-
-  for (const LayerReport& lr : rep.layers) {
-    rep.total_macs += lr.weighting.macs;
-    if (lr.attention) rep.total_macs += lr.attention->macs;
-    if (lr.mlp2) rep.total_macs += lr.mlp2->macs;
-    rep.total_macs += macs_of(lr.aggregation, result.output.cols());
-    rep.total_accum_ops += lr.aggregation.accum_ops;
-    rep.total_sfu_ops += lr.aggregation.sfu_ops;
-  }
-  rep.dram = hbm_.stats();
-  rep.dram_energy = hbm_.energy();
-  return result;
+  // Non-owning view of the caller's weights: the legacy contract keeps the
+  // caller responsible for their lifetime across this call, so no copy.
+  std::shared_ptr<const GnnWeights> borrowed(&weights, [](const GnnWeights*) {});
+  CompiledModel compiled = engine_.compile(model, std::move(borrowed));
+  // Legacy leniency: the old engine ignored sampled adjacencies for
+  // non-GraphSAGE models rather than rejecting them.
+  GraphPlanPtr plan = model.kind == GnnKind::kGraphSage ? compiled.plan(g, sampled_per_layer)
+                                                        : compiled.plan(g);
+  RunRequest request;
+  request.plan = std::move(plan);
+  request.features = &x0;
+  return compiled.run(request);
 }
 
 }  // namespace gnnie

@@ -1,78 +1,49 @@
-// GnnieEngine: the full accelerator model. Runs a GNN (Table I/III) layer
-// by layer — Weighting on the CPE array, GAT attention, cache-driven edge
-// Aggregation, activation — producing both the functional output (validated
-// against nn/reference) and a per-phase cycle/DRAM report.
+// DEPRECATED single-shot entry point, kept as a thin shim over the serving
+// API (core/serving.hpp) for incremental migration.
+//
+// GnnieEngine::run(model, weights, graph, x0) recompiles the model and
+// replans the graph on every call — exactly the per-call planning cost the
+// compile-once/run-many lifecycle removes. New code should use:
+//
+//   Engine engine(config);
+//   CompiledModel compiled = engine.compile(model, weights);
+//   auto plan = compiled.plan(graph);
+//   InferenceResult r = compiled.run({plan, &features});
+//
+// The shim delegates to that path, so it inherits its semantics: each run
+// builds fresh accelerator state (the historical bug where back-to-back
+// runs on one engine accumulated DRAM stats across runs is gone), and the
+// cache behavior maps from the deprecated config booleans onto a
+// CachePolicy via CachePolicy::kind_from_flags.
 #pragma once
 
-#include <cstdint>
-#include <optional>
 #include <vector>
 
-#include "core/aggregation.hpp"
-#include "core/attention.hpp"
-#include "core/engine_config.hpp"
-#include "core/weighting.hpp"
+#include "core/report.hpp"
+#include "core/serving.hpp"
 #include "graph/csr.hpp"
-#include "mem/hbm.hpp"
 #include "nn/model.hpp"
 #include "sparse/sparse_matrix.hpp"
 
 namespace gnnie {
 
-struct LayerReport {
-  WeightingReport weighting;
-  std::optional<AttentionReport> attention;   // GAT only
-  std::optional<WeightingReport> mlp2;        // GIN second linear
-  AggregationReport aggregation;
-  Cycles activation_cycles = 0;
-  Cycles total_cycles = 0;
-};
-
-struct InferenceReport {
-  std::vector<LayerReport> layers;
-  Cycles total_cycles = 0;
-  double clock_hz = 0.0;
-  HbmStats dram;        ///< lifetime DRAM stats of this run
-  Joules dram_energy = 0.0;
-  std::uint64_t total_macs = 0;
-  std::uint64_t total_accum_ops = 0;
-  std::uint64_t total_sfu_ops = 0;
-
-  Seconds runtime_seconds() const { return cycles_to_seconds(total_cycles, clock_hz); }
-  /// Effective TOPS with the 1 MAC = 2 ops convention (Table IV).
-  double effective_tops() const;
-};
-
-struct InferenceResult {
-  Matrix output;
-  InferenceReport report;
-};
-
 class GnnieEngine {
  public:
   explicit GnnieEngine(EngineConfig config = EngineConfig::paper_default(true));
 
-  const EngineConfig& config() const { return config_; }
+  const EngineConfig& config() const { return engine_.config(); }
   /// Peak TOPS of the configured array (Table IV "Peak").
-  double peak_tops() const;
+  double peak_tops() const { return engine_.peak_tops(); }
 
-  /// Runs inference. GraphSAGE requires one sampled adjacency per layer
+  /// Runs inference end to end: compile + plan + run in one call.
+  /// GraphSAGE requires one sampled adjacency per layer
   /// (sample_neighborhood), matching the reference-forward contract.
+  /// DEPRECATED: migrate to Engine::compile / CompiledModel::plan / run.
   InferenceResult run(const ModelConfig& model, const GnnWeights& weights, const Csr& g,
                       const SparseMatrix& x0, const std::vector<Csr>& sampled_per_layer = {});
 
  private:
-  Matrix run_layer(const ModelConfig& model, const LayerWeights& lw, const Csr& g,
-                   const Csr* sampled, const Matrix* dense_in, const SparseMatrix* sparse_in,
-                   bool final_activation, LayerReport& lr);
-  Matrix run_diffpool(const ModelConfig& model, const GnnWeights& weights, const Csr& g,
-                      const SparseMatrix& x0, InferenceReport& rep);
-
-  Cycles activation_cost(std::size_t elements) const;
-
-  EngineConfig config_;
-  HbmModel hbm_;
-  DramLayout layout_;
+  Engine engine_;
 };
 
 }  // namespace gnnie

@@ -11,6 +11,10 @@ EngineConfig EngineConfig::paper_default(bool large_dataset) {
   return c;
 }
 
+double EngineConfig::peak_tops() const {
+  return 2.0 * static_cast<double>(array.total_macs()) * clock_hz / 1e12;
+}
+
 void EngineConfig::validate() const {
   array.validate();
   GNNIE_REQUIRE(clock_hz > 0.0, "clock must be positive");

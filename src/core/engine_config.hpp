@@ -25,6 +25,9 @@ struct OptimizationFlags {
   /// Aggregation: degree-aware cache policy (CP, §VI). Without it the same
   /// subgraph machinery runs with vertices laid out and fetched in ID order
   /// (the §VIII-E baseline). See also CacheConfig::on_demand_baseline.
+  /// DEPRECATED: cache behavior is a CachePolicy instance handed to Engine
+  /// (core/cache_policy.hpp); this boolean only feeds the legacy mapping
+  /// CachePolicy::kind_from_flags used by the GnnieEngine shim.
   bool degree_aware_cache = true;
   /// Aggregation: edge-level load balancing across CPEs (LB, §V-C).
   /// Without it each vertex's aggregation runs on a single CPE.
@@ -56,6 +59,8 @@ struct CacheConfig {
   /// engine (per-vertex neighbor fetches through an LRU input buffer,
   /// random DRAM accesses on misses) instead of the ID-order subgraph
   /// machinery. This is the "no caching at all" reference.
+  /// DEPRECATED: select CachePolicyKind::kOnDemand instead (see
+  /// OptimizationFlags::degree_aware_cache).
   bool on_demand_baseline = false;
 };
 
@@ -80,6 +85,10 @@ struct EngineConfig {
 
   /// Paper configuration for a dataset size (§VIII-A input buffer rule).
   static EngineConfig paper_default(bool large_dataset);
+
+  /// Peak TOPS of the configured array with the 1 MAC = 2 ops convention
+  /// (Table IV "Peak").
+  double peak_tops() const;
 
   void validate() const;
 };

@@ -1,0 +1,13 @@
+#include "core/report.hpp"
+
+namespace gnnie {
+
+double InferenceReport::effective_tops() const {
+  const Seconds s = runtime_seconds();
+  if (s <= 0.0) return 0.0;
+  const double ops = 2.0 * static_cast<double>(total_macs) +
+                     static_cast<double>(total_sfu_ops);
+  return ops / s / 1e12;
+}
+
+}  // namespace gnnie

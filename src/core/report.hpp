@@ -1,0 +1,71 @@
+// Inference reporting types shared by the serving API (core/serving.hpp)
+// and the deprecated single-shot entry point (core/engine.hpp): per-layer
+// phase reports, the per-run InferenceReport, and the functional result.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/aggregation.hpp"
+#include "core/attention.hpp"
+#include "core/weighting.hpp"
+#include "mem/hbm.hpp"
+#include "nn/matrix.hpp"
+
+namespace gnnie {
+
+struct LayerReport {
+  WeightingReport weighting;
+  std::optional<AttentionReport> attention;   // GAT only
+  std::optional<WeightingReport> mlp2;        // GIN second linear
+  AggregationReport aggregation;
+  Cycles activation_cycles = 0;
+  Cycles total_cycles = 0;
+};
+
+struct InferenceReport {
+  std::vector<LayerReport> layers;
+  Cycles total_cycles = 0;
+  double clock_hz = 0.0;
+  HbmStats dram;        ///< DRAM stats of this run (and only this run)
+  Joules dram_energy = 0.0;
+  std::uint64_t total_macs = 0;
+  std::uint64_t total_accum_ops = 0;
+  std::uint64_t total_sfu_ops = 0;
+
+  Seconds runtime_seconds() const { return cycles_to_seconds(total_cycles, clock_hz); }
+  /// Effective TOPS with the 1 MAC = 2 ops convention (Table IV).
+  double effective_tops() const;
+};
+
+struct InferenceResult {
+  Matrix output;
+  InferenceReport report;
+};
+
+/// Aggregate over one run_batch() call: the batch is serviced sequentially
+/// on one accelerator, so total_cycles is the makespan and per-request
+/// latencies come from the individual InferenceReports.
+struct BatchReport {
+  std::size_t requests = 0;
+  Cycles total_cycles = 0;
+  Cycles min_request_cycles = 0;
+  Cycles max_request_cycles = 0;
+  double clock_hz = 0.0;
+  HbmStats dram;              ///< summed over all requests
+  Joules dram_energy = 0.0;
+  std::uint64_t total_macs = 0;
+
+  Seconds total_seconds() const { return cycles_to_seconds(total_cycles, clock_hz); }
+  Seconds mean_request_seconds() const {
+    return requests == 0 ? 0.0 : total_seconds() / static_cast<double>(requests);
+  }
+  /// Served inferences per second at the batch's aggregate rate.
+  double throughput_per_second() const {
+    const Seconds s = total_seconds();
+    return s <= 0.0 ? 0.0 : static_cast<double>(requests) / s;
+  }
+};
+
+}  // namespace gnnie

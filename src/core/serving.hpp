@@ -1,0 +1,190 @@
+// The GNNIE serving API: compile once, plan per graph, run many.
+//
+//   Engine engine(EngineConfig::paper_default(false));
+//   CompiledModel model = engine.compile(model_config, weights);
+//   auto plan = model.plan(graph);                 // cached per graph
+//   InferenceResult r = model.run({plan, &features});
+//   BatchResult b = model.run_batch(requests);     // many features, one plan
+//
+// The lifecycle splits GNNIE's per-graph planning work (§IV-C weighting
+// bins, §VI degree-aware cache layout) from per-request execution:
+//
+//   * Engine::compile validates the model/weights pairing once, sizes the
+//     DRAM layout, and precomputes every layer's weighting geometry.
+//   * CompiledModel::plan binds one graph: the cache policy's DRAM layout
+//     order, its inverse positions, reverse adjacencies for sampled
+//     (directed) layers — everything reusable across runs on that graph.
+//     Plans are cached inside the CompiledModel and shared.
+//   * CompiledModel::run / run_batch execute requests against a plan.
+//     Every run builds its accelerator state (HbmModel) fresh, so runs are
+//     stateless by construction: back-to-back runs report identical stats.
+//
+// The cache behavior is selected by a CachePolicy instance handed to the
+// Engine (degree-aware / ID-order / on-demand), replacing the deprecated
+// OptimizationFlags::degree_aware_cache / CacheConfig::on_demand_baseline
+// booleans. core/engine.hpp keeps a thin GnnieEngine shim over this API
+// for incremental migration.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/aggregation.hpp"
+#include "core/cache_policy.hpp"
+#include "core/engine_config.hpp"
+#include "core/report.hpp"
+#include "core/weighting.hpp"
+#include "graph/csr.hpp"
+#include "nn/model.hpp"
+#include "sparse/sparse_matrix.hpp"
+
+namespace gnnie {
+
+class CompiledModel;
+
+/// Per-graph planning output: the cache policy's DRAM layout and the
+/// per-layer adjacency bindings, computed once and reused by every run on
+/// the same graph. The planned Csr is referenced, not copied — it must
+/// outlive the plan; sampled adjacencies (GraphSAGE) are owned by the plan.
+class GraphPlan {
+ public:
+  const Csr& graph() const { return *graph_; }
+  std::uint64_t fingerprint() const { return fingerprint_; }
+  /// Graph shape at plan time. run() re-checks these (O(1)) to catch the
+  /// common case of the planned Csr being reassigned in place; full
+  /// structural revalidation (the fingerprint) happens on plan() hits.
+  VertexId planned_vertex_count() const { return planned_vertices_; }
+  EdgeId planned_edge_count() const { return planned_edges_; }
+  const CachePolicy& policy() const { return *policy_; }
+
+  /// Layout order exists only for subgraph-machinery policies on models
+  /// that aggregate over the full graph (everything except GraphSAGE).
+  bool has_layout() const { return !order_.empty(); }
+  const std::vector<VertexId>& order() const { return order_; }
+  const std::vector<VertexId>& positions() const { return positions_; }
+
+ private:
+  struct SampledBinding {
+    Csr graph;
+    // Layout and reverse adjacency exist only for subgraph-machinery
+    // policies; the on-demand engine reads neither.
+    std::vector<VertexId> order;
+    std::vector<VertexId> positions;
+    std::optional<ReverseAdjacency> reverse;
+
+    SampledBinding(Csr g, const CachePolicy& pol);
+  };
+
+ public:
+  /// GraphSAGE: one sampled adjacency bound per layer. The binding type is
+  /// private — consume it via `const auto&`.
+  std::size_t sampled_layer_count() const { return sampled_.size(); }
+  const SampledBinding& sampled(std::size_t layer) const { return sampled_[layer]; }
+  const Csr& sampled_graph(std::size_t layer) const { return sampled_[layer].graph; }
+
+ private:
+  friend class CompiledModel;
+
+  GraphPlan() = default;
+
+  /// The CompiledModel state that built this plan. A weak reference, so a
+  /// plan outliving its model is detected (expired) rather than aliasing a
+  /// reallocated state object.
+  std::weak_ptr<const void> owner_;
+  const Csr* graph_ = nullptr;
+  std::uint64_t fingerprint_ = 0;
+  VertexId planned_vertices_ = 0;
+  EdgeId planned_edges_ = 0;
+  std::shared_ptr<const CachePolicy> policy_;
+  std::vector<VertexId> order_;
+  std::vector<VertexId> positions_;
+  std::vector<SampledBinding> sampled_;
+};
+
+using GraphPlanPtr = std::shared_ptr<const GraphPlan>;
+
+/// One inference request: a plan (graph binding) plus that request's input
+/// features. Batch results correlate with requests by position.
+struct RunRequest {
+  GraphPlanPtr plan;
+  const SparseMatrix* features = nullptr;
+};
+
+struct BatchResult {
+  std::vector<InferenceResult> results;  ///< one per request, request order
+  BatchReport report;
+};
+
+/// A validated (model, weights, accelerator config, cache policy) bundle.
+/// Immutable and cheaply copyable (shared state); safe to hand to several
+/// serving threads, each running requests independently.
+class CompiledModel {
+ public:
+  const ModelConfig& model() const;
+  const EngineConfig& config() const;
+  const GnnWeights& weights() const;
+  const CachePolicy& cache_policy() const;
+  const DramLayout& dram_layout() const;
+  /// Precomputed §IV-A geometry of layer `l`'s weighting stage.
+  const WeightingGeometry& layer_geometry(std::size_t l) const;
+  /// Peak TOPS of the configured array (Table IV "Peak").
+  double peak_tops() const;
+
+  /// Plans (or returns the cached plan for) one graph. GraphSAGE models
+  /// must pass one sampled adjacency per layer (sample_neighborhood) —
+  /// those plans are not cached, since sampling is fresh per call; all
+  /// other plans are cached per graph object and revalidated against the
+  /// graph's structure fingerprint on every hit.
+  GraphPlanPtr plan(const Csr& g, std::vector<Csr> sampled_per_layer = {}) const;
+
+  /// Executes one request. Stateless: builds fresh accelerator state per
+  /// call, so identical requests produce bit-identical outputs and reports.
+  InferenceResult run(const RunRequest& request) const;
+
+  /// Services requests sequentially on the modeled accelerator and returns
+  /// per-request results plus the aggregate batch report (makespan,
+  /// summed DRAM traffic, latency spread).
+  BatchResult run_batch(std::span<const RunRequest> requests) const;
+
+  /// Opaque compile output (definition in serving.cpp).
+  struct State;
+
+ private:
+  friend class Engine;
+  explicit CompiledModel(std::shared_ptr<State> state) : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
+
+/// Entry point of the serving lifecycle: owns the accelerator configuration
+/// and the cache policy, and compiles models against them.
+class Engine {
+ public:
+  /// `policy` null → derived from the (deprecated) config booleans, which
+  /// keeps legacy EngineConfig ablation setups working through the shim.
+  explicit Engine(EngineConfig config = EngineConfig::paper_default(true),
+                  std::shared_ptr<const CachePolicy> policy = nullptr);
+
+  const EngineConfig& config() const { return config_; }
+  const CachePolicy& cache_policy() const { return *policy_; }
+  /// Peak TOPS of the configured array (Table IV "Peak").
+  double peak_tops() const;
+
+  /// Validates the model/weights pairing, sizes the DRAM layout, and
+  /// precomputes per-layer weighting geometry. The overload taking a
+  /// shared_ptr avoids copying large weight sets.
+  CompiledModel compile(const ModelConfig& model, const GnnWeights& weights) const;
+  CompiledModel compile(const ModelConfig& model,
+                        std::shared_ptr<const GnnWeights> weights) const;
+
+ private:
+  EngineConfig config_;
+  std::shared_ptr<const CachePolicy> policy_;
+};
+
+}  // namespace gnnie

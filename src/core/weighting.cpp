@@ -43,6 +43,21 @@ WeightingEngine::WeightingEngine(const EngineConfig& config, HbmModel* hbm,
   config_.validate();
 }
 
+WeightingGeometry WeightingGeometry::for_dims(const EngineConfig& config, std::size_t f_in,
+                                              std::size_t f_out) {
+  GNNIE_REQUIRE(f_in > 0 && f_out > 0, "layer dimensions must be positive");
+  WeightingGeometry g;
+  g.f_in = f_in;
+  g.f_out = f_out;
+  g.k = (static_cast<std::uint32_t>(f_in) + config.array.rows - 1) / config.array.rows;
+  g.blocks_per_vertex = (static_cast<std::uint32_t>(f_in) + g.k - 1) / g.k;
+  g.passes = std::max<std::uint64_t>(
+      1, (f_out + config.array.cols - 1) / config.array.cols);
+  g.weight_stream_bytes_per_pass =
+      static_cast<Bytes>(config.array.cols) * f_in * config.weight_bytes;
+  return g;
+}
+
 namespace {
 
 std::uint32_t div_ceil_u32(std::uint32_t a, std::uint32_t b) { return (a + b - 1) / b; }
@@ -55,14 +70,19 @@ Bytes rlc_stream_bytes(std::uint64_t nnz, std::uint64_t zeros) {
 
 }  // namespace
 
-Matrix WeightingEngine::run(const SparseMatrix& h, const Matrix& w, WeightingReport* report) {
+Matrix WeightingEngine::run(const SparseMatrix& h, const Matrix& w, WeightingReport* report,
+                            const WeightingGeometry* geometry) {
   GNNIE_REQUIRE(h.col_count() == w.rows(), "H/W inner dimension mismatch");
   const std::size_t f_in = h.col_count();
   const std::size_t f_out = w.cols();
+  GNNIE_REQUIRE(geometry == nullptr || (geometry->f_in == f_in && geometry->f_out == f_out),
+                "precomputed geometry does not match the operands");
+  const WeightingGeometry geom =
+      geometry != nullptr ? *geometry : WeightingGeometry::for_dims(config_, f_in, f_out);
 
   BlockGrid grid;
-  grid.k = div_ceil_u32(static_cast<std::uint32_t>(f_in), config_.array.rows);
-  grid.blocks_per_vertex = div_ceil_u32(static_cast<std::uint32_t>(f_in), grid.k);
+  grid.k = geom.k;
+  grid.blocks_per_vertex = geom.blocks_per_vertex;
   grid.vertices = h.row_count();
   grid.z.resize(grid.vertices * grid.blocks_per_vertex);
   for (std::size_t v = 0; v < grid.vertices; ++v) {
@@ -77,7 +97,7 @@ Matrix WeightingEngine::run(const SparseMatrix& h, const Matrix& w, WeightingRep
 
   const std::uint64_t nnz = h.total_nnz();
   const std::uint64_t zeros = grid.vertices * f_in - nnz;
-  simulate(grid, f_in, f_out, rlc_stream_bytes(nnz, zeros), /*dense_input=*/false, report);
+  simulate(grid, geom, rlc_stream_bytes(nnz, zeros), /*dense_input=*/false, report);
 
   // Functional result: sparse-aware H·W.
   Matrix out(h.row_count(), f_out);
@@ -91,14 +111,19 @@ Matrix WeightingEngine::run(const SparseMatrix& h, const Matrix& w, WeightingRep
   return out;
 }
 
-Matrix WeightingEngine::run(const Matrix& h, const Matrix& w, WeightingReport* report) {
+Matrix WeightingEngine::run(const Matrix& h, const Matrix& w, WeightingReport* report,
+                            const WeightingGeometry* geometry) {
   GNNIE_REQUIRE(h.cols() == w.rows(), "H/W inner dimension mismatch");
   const std::size_t f_in = h.cols();
   const std::size_t f_out = w.cols();
+  GNNIE_REQUIRE(geometry == nullptr || (geometry->f_in == f_in && geometry->f_out == f_out),
+                "precomputed geometry does not match the operands");
+  const WeightingGeometry geom =
+      geometry != nullptr ? *geometry : WeightingGeometry::for_dims(config_, f_in, f_out);
 
   BlockGrid grid;
-  grid.k = div_ceil_u32(static_cast<std::uint32_t>(f_in), config_.array.rows);
-  grid.blocks_per_vertex = div_ceil_u32(static_cast<std::uint32_t>(f_in), grid.k);
+  grid.k = geom.k;
+  grid.blocks_per_vertex = geom.blocks_per_vertex;
   grid.vertices = h.rows();
   grid.z.resize(grid.vertices * grid.blocks_per_vertex);
   for (std::size_t v = 0; v < grid.vertices; ++v) {
@@ -113,7 +138,7 @@ Matrix WeightingEngine::run(const Matrix& h, const Matrix& w, WeightingReport* r
   }
 
   // Dense path: RLC bypassed, the full FP32 matrix streams per pass.
-  simulate(grid, f_in, f_out, static_cast<Bytes>(grid.vertices) * f_in * config_.feature_bytes,
+  simulate(grid, geom, static_cast<Bytes>(grid.vertices) * f_in * config_.feature_bytes,
            /*dense_input=*/true, report);
   return matmul(h, w);
 }
@@ -263,9 +288,10 @@ std::vector<double> WeightingEngine::schedule_rows(const BlockGrid& grid,
   return row_cycles;
 }
 
-void WeightingEngine::simulate(const BlockGrid& grid, std::size_t f_in, std::size_t f_out,
+void WeightingEngine::simulate(const BlockGrid& grid, const WeightingGeometry& geom,
                                Bytes feature_stream_bytes, bool dense_input,
                                WeightingReport* report) {
+  const std::size_t f_out = geom.f_out;
   WeightingReport local;
   WeightingReport& rep = report != nullptr ? *report : local;
   rep = WeightingReport{};
@@ -293,8 +319,7 @@ void WeightingEngine::simulate(const BlockGrid& grid, std::size_t f_in, std::siz
     }
   }
 
-  const std::uint64_t passes =
-      std::max<std::uint64_t>(1, (f_out + arr.cols - 1) / arr.cols);
+  const std::uint64_t passes = geom.passes;
   const double per_pass_compute = max_row + stall;
 
   // Memory per pass: N weight columns + the feature stream + the pass's
@@ -304,8 +329,7 @@ void WeightingEngine::simulate(const BlockGrid& grid, std::size_t f_in, std::siz
   // feature vectors fetched in the input buffer get reused").
   Cycles mem_per_pass = 0;
   if (hbm_ != nullptr) {
-    const Bytes weight_bytes_per_pass =
-        static_cast<Bytes>(arr.cols) * f_in * config_.weight_bytes;
+    const Bytes weight_bytes_per_pass = geom.weight_stream_bytes_per_pass;
     const Bytes output_bytes_per_pass =
         static_cast<Bytes>(grid.vertices) * arr.cols * config_.feature_bytes;
     // Dense inputs are the previous layer's result, which is still staged

@@ -46,23 +46,43 @@ struct WeightingReport {
   Cycles row_spread() const;
 };
 
+/// Block/pass geometry of one weighting layer: everything about the §IV-A
+/// mapping that depends only on the array design and the layer dimensions,
+/// not on per-run feature values. CompiledModel precomputes one per layer
+/// at compile time so repeated runs skip re-deriving it.
+struct WeightingGeometry {
+  std::size_t f_in = 0;
+  std::size_t f_out = 0;
+  std::uint32_t k = 0;                   ///< elements per feature block (⌈F_in/M⌉)
+  std::uint32_t blocks_per_vertex = 0;   ///< ⌈F_in/k⌉
+  std::uint64_t passes = 0;              ///< output-column passes (⌈F_out/N⌉)
+  Bytes weight_stream_bytes_per_pass = 0;
+
+  static WeightingGeometry for_dims(const EngineConfig& config, std::size_t f_in,
+                                    std::size_t f_out);
+};
+
 class WeightingEngine {
  public:
   /// `hbm` may be null for compute-only analyses (memory time = 0).
   WeightingEngine(const EngineConfig& config, HbmModel* hbm,
                   const DramLayout& layout = {});
 
-  /// Layer-0 path: sparse input features streamed in RLC form.
-  Matrix run(const SparseMatrix& h, const Matrix& w, WeightingReport* report = nullptr);
+  /// Layer-0 path: sparse input features streamed in RLC form. `geometry`
+  /// is an optional precomputed layer geometry (must match the operand
+  /// dimensions); null → derived on the fly.
+  Matrix run(const SparseMatrix& h, const Matrix& w, WeightingReport* report = nullptr,
+             const WeightingGeometry* geometry = nullptr);
 
   /// Later-layer path: dense features (RLC bypassed); zero detection still
   /// skips zero elements produced by ReLU.
-  Matrix run(const Matrix& h, const Matrix& w, WeightingReport* report = nullptr);
+  Matrix run(const Matrix& h, const Matrix& w, WeightingReport* report = nullptr,
+             const WeightingGeometry* geometry = nullptr);
 
  private:
   struct BlockGrid;  // per-(vertex, block) nonzero counts
 
-  void simulate(const BlockGrid& grid, std::size_t f_in, std::size_t f_out,
+  void simulate(const BlockGrid& grid, const WeightingGeometry& geom,
                 Bytes feature_stream_bytes, bool dense_input, WeightingReport* report);
   std::vector<double> schedule_rows(const BlockGrid& grid, WeightingReport* report) const;
 

@@ -29,4 +29,20 @@ std::uint64_t Csr::storage_bytes() const {
   return offsets_.size() * sizeof(EdgeId) + neighbors_.size() * sizeof(VertexId);
 }
 
+std::uint64_t Csr::structure_fingerprint() const {
+  constexpr std::uint64_t kOffset = 1469598103934665603ull;
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  std::uint64_t h = kOffset;
+  auto mix = [&h](std::uint64_t word) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (word >> (8 * byte)) & 0xffu;
+      h *= kPrime;
+    }
+  };
+  mix(vertex_count_);
+  for (EdgeId o : offsets_) mix(o);
+  for (VertexId n : neighbors_) mix(n);
+  return h;
+}
+
 }  // namespace gnnie

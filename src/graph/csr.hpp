@@ -47,6 +47,11 @@ class Csr {
   /// graph's DRAM footprint excluding the property array.
   std::uint64_t storage_bytes() const;
 
+  /// Order-sensitive 64-bit hash of the adjacency structure (FNV-1a over
+  /// the offset and coordinate arrays). Used by the serving layer to detect
+  /// whether a previously planned graph object still holds the same graph.
+  std::uint64_t structure_fingerprint() const;
+
  private:
   VertexId vertex_count_ = 0;
   std::vector<EdgeId> offsets_{0};

@@ -23,6 +23,17 @@ HbmModel::HbmModel(HbmConfig config) : config_(config) {
                              ~0ull);
 }
 
+HbmStats& HbmStats::operator+=(const HbmStats& other) {
+  bytes_read += other.bytes_read;
+  bytes_written += other.bytes_written;
+  bursts += other.bursts;
+  row_hits += other.row_hits;
+  row_misses += other.row_misses;
+  for (std::size_t c = 0; c < kMemClientCount; ++c) client_bytes[c] += other.client_bytes[c];
+  accesses += other.accesses;
+  return *this;
+}
+
 void HbmModel::begin_epoch() { channel_busy_.assign(config_.channels, 0.0); }
 
 void HbmModel::access(std::uint64_t addr, Bytes bytes, bool write, MemClient client) {

@@ -58,6 +58,9 @@ struct HbmStats {
     const std::uint64_t total = row_hits + row_misses;
     return total == 0 ? 0.0 : static_cast<double>(row_hits) / static_cast<double>(total);
   }
+
+  /// Accumulates another run's stats (batch-report aggregation).
+  HbmStats& operator+=(const HbmStats& other);
 };
 
 class HbmModel {

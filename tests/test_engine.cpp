@@ -91,6 +91,22 @@ TEST(Engine, DeterministicAcrossRuns) {
   EXPECT_EQ(Matrix::max_abs_diff(r1.output, r2.output), 0.0f);
 }
 
+TEST(Engine, BackToBackRunsOnOneEngineReportIdenticalStats) {
+  // Regression: the engine used to share one accumulating HbmModel across
+  // runs, so a second run's InferenceReport.dram included the first run's
+  // traffic. Runs are stateless now — identical requests, identical stats.
+  Fixture f(GnnKind::kGcn);
+  GnnieEngine engine(EngineConfig::paper_default(false));
+  InferenceResult r1 = engine.run(f.model, f.weights, f.data.graph, f.data.features);
+  InferenceResult r2 = engine.run(f.model, f.weights, f.data.graph, f.data.features);
+  EXPECT_EQ(r1.report.dram.bytes_read, r2.report.dram.bytes_read);
+  EXPECT_EQ(r1.report.dram.bytes_written, r2.report.dram.bytes_written);
+  EXPECT_EQ(r1.report.dram.accesses, r2.report.dram.accesses);
+  EXPECT_EQ(r1.report.dram_energy, r2.report.dram_energy);
+  EXPECT_EQ(r1.report.total_cycles, r2.report.total_cycles);
+  EXPECT_EQ(Matrix::max_abs_diff(r1.output, r2.output), 0.0f);
+}
+
 TEST(Engine, LayerReportsAreComplete) {
   Fixture f(GnnKind::kGat);
   GnnieEngine engine(EngineConfig::paper_default(false));

@@ -1,0 +1,284 @@
+// Tests for the serving API (core/serving.hpp): compile-once/run-many
+// equivalence with the legacy single-shot GnnieEngine path (bit-identical
+// outputs and cycle counts), plan caching and reuse across runs, batch
+// determinism vs sequential runs, cache-policy selection through the
+// CachePolicy interface, and compile/plan/run validation.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "core/serving.hpp"
+#include "datasets/synthetic.hpp"
+#include "nn/layers.hpp"
+#include "nn/reference.hpp"
+
+namespace gnnie {
+namespace {
+
+struct Fixture {
+  Dataset data;
+  ModelConfig model;
+  GnnWeights weights;
+  std::vector<Csr> sampled;
+
+  explicit Fixture(GnnKind kind, double scale = 0.1, std::uint32_t hidden = 32) {
+    data = generate_dataset(spec_of(DatasetId::kCora).scaled(scale), 1);
+    model.kind = kind;
+    model.input_dim = data.spec.feature_length;
+    model.hidden_dim = hidden;
+    model.pool_clusters = 16;
+    weights = init_weights(model, 42);
+    if (kind == GnnKind::kGraphSage) {
+      for (std::uint32_t l = 0; l < model.num_layers; ++l) {
+        sampled.push_back(sample_neighborhood(data.graph, model.sample_size, 100 + l));
+      }
+    }
+  }
+};
+
+class ServingEquivalence : public ::testing::TestWithParam<GnnKind> {};
+
+TEST_P(ServingEquivalence, CompilePlanRunMatchesLegacyRunBitExactly) {
+  Fixture f(GetParam());
+  EngineConfig cfg = EngineConfig::paper_default(false);
+
+  GnnieEngine legacy(cfg);
+  InferenceResult want = legacy.run(f.model, f.weights, f.data.graph, f.data.features, f.sampled);
+
+  Engine engine(cfg);
+  CompiledModel compiled = engine.compile(f.model, f.weights);
+  GraphPlanPtr plan = compiled.plan(f.data.graph, f.sampled);
+  RunRequest request{plan, &f.data.features};
+  InferenceResult got = compiled.run(request);
+
+  EXPECT_EQ(Matrix::max_abs_diff(got.output, want.output), 0.0f);
+  EXPECT_EQ(got.report.total_cycles, want.report.total_cycles);
+  EXPECT_EQ(got.report.dram.bytes_read, want.report.dram.bytes_read);
+  EXPECT_EQ(got.report.dram.bytes_written, want.report.dram.bytes_written);
+  EXPECT_EQ(got.report.total_macs, want.report.total_macs);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGnns, ServingEquivalence,
+                         ::testing::Values(GnnKind::kGcn, GnnKind::kGraphSage, GnnKind::kGat,
+                                           GnnKind::kGinConv, GnnKind::kDiffPool),
+                         [](const auto& info) { return to_string(info.param); });
+
+TEST(Serving, PlanIsCachedPerGraphAndReusedAcrossRuns) {
+  Fixture f(GnnKind::kGcn);
+  EngineConfig cfg = EngineConfig::paper_default(false);
+  Engine engine(cfg);
+  CompiledModel compiled = engine.compile(f.model, f.weights);
+
+  GraphPlanPtr plan1 = compiled.plan(f.data.graph);
+  GraphPlanPtr plan2 = compiled.plan(f.data.graph);
+  EXPECT_EQ(plan1.get(), plan2.get());  // cache hit: same plan object
+
+  // One plan, several runs — outputs bit-identical to the legacy
+  // single-shot path (the ISSUE acceptance criterion).
+  GnnieEngine legacy(cfg);
+  InferenceResult want = legacy.run(f.model, f.weights, f.data.graph, f.data.features);
+  RunRequest request{plan1, &f.data.features};
+  InferenceResult r1 = compiled.run(request);
+  InferenceResult r2 = compiled.run(request);
+  EXPECT_EQ(Matrix::max_abs_diff(r1.output, want.output), 0.0f);
+  EXPECT_EQ(Matrix::max_abs_diff(r2.output, want.output), 0.0f);
+  EXPECT_EQ(r1.report.total_cycles, want.report.total_cycles);
+  EXPECT_EQ(r2.report.total_cycles, want.report.total_cycles);
+  // Stateless runs: identical stats both times, no cross-run accumulation.
+  EXPECT_EQ(r1.report.dram.bytes_read, r2.report.dram.bytes_read);
+  EXPECT_EQ(r1.report.dram.bytes_written, r2.report.dram.bytes_written);
+}
+
+TEST(Serving, PlanCacheRevalidatesWhenGraphObjectIsReassigned) {
+  Fixture f(GnnKind::kGcn);
+  Engine engine(EngineConfig::paper_default(false));
+  CompiledModel compiled = engine.compile(f.model, f.weights);
+
+  Csr g = generate_graph(spec_of(DatasetId::kCora).scaled(0.1), 1);
+  GraphPlanPtr plan1 = compiled.plan(g);
+  g = generate_graph(spec_of(DatasetId::kCora).scaled(0.1), 2);  // new structure, same object
+  GraphPlanPtr plan2 = compiled.plan(g);
+  EXPECT_NE(plan1.get(), plan2.get());
+  EXPECT_NE(plan1->fingerprint(), plan2->fingerprint());
+
+  // Running with a stale plan after the graph object shrank under it is
+  // caught by the O(1) shape guard rather than producing silent nonsense.
+  g = generate_graph(spec_of(DatasetId::kCora).scaled(0.05), 3);
+  EXPECT_THROW(compiled.run({plan2, &f.data.features}), std::invalid_argument);
+}
+
+TEST(Serving, RunBatchMatchesSequentialRuns) {
+  Fixture f(GnnKind::kGcn);
+  EngineConfig cfg = EngineConfig::paper_default(false);
+  Engine engine(cfg);
+  CompiledModel compiled = engine.compile(f.model, f.weights);
+  GraphPlanPtr plan = compiled.plan(f.data.graph);
+
+  // Three requests over the same plan with different feature sets — the
+  // serving scenario: one graph, many users.
+  std::vector<SparseMatrix> feature_sets;
+  feature_sets.push_back(f.data.features);
+  feature_sets.push_back(generate_features(f.data.spec, 7));
+  feature_sets.push_back(generate_features(f.data.spec, 8));
+  std::vector<RunRequest> requests;
+  for (std::size_t i = 0; i < feature_sets.size(); ++i) {
+    requests.push_back({plan, &feature_sets[i]});
+  }
+
+  BatchResult batch = compiled.run_batch(requests);
+  ASSERT_EQ(batch.results.size(), requests.size());
+  ASSERT_EQ(batch.report.requests, requests.size());
+
+  Cycles cycle_sum = 0;
+  std::uint64_t bytes_read_sum = 0;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    InferenceResult solo = compiled.run(requests[i]);
+    EXPECT_EQ(Matrix::max_abs_diff(batch.results[i].output, solo.output), 0.0f);
+    EXPECT_EQ(batch.results[i].report.total_cycles, solo.report.total_cycles);
+    cycle_sum += solo.report.total_cycles;
+    bytes_read_sum += solo.report.dram.bytes_read;
+  }
+  EXPECT_EQ(batch.report.total_cycles, cycle_sum);
+  EXPECT_EQ(batch.report.dram.bytes_read, bytes_read_sum);
+  EXPECT_GE(batch.report.max_request_cycles, batch.report.min_request_cycles);
+  EXPECT_GT(batch.report.throughput_per_second(), 0.0);
+}
+
+TEST(Serving, DifferentFeaturesDifferentOutputsSamePlan) {
+  Fixture f(GnnKind::kGcn);
+  Engine engine(EngineConfig::paper_default(false));
+  CompiledModel compiled = engine.compile(f.model, f.weights);
+  GraphPlanPtr plan = compiled.plan(f.data.graph);
+
+  SparseMatrix other = generate_features(f.data.spec, 99);
+  InferenceResult a = compiled.run({plan, &f.data.features});
+  InferenceResult b = compiled.run({plan, &other});
+  EXPECT_GT(Matrix::max_abs_diff(a.output, b.output), 0.0f);
+  // And each still matches the software reference.
+  EXPECT_LT(Matrix::max_abs_diff(
+                a.output, reference_forward(f.model, f.weights, f.data.graph, f.data.features)),
+            2e-3f);
+  EXPECT_LT(Matrix::max_abs_diff(
+                b.output, reference_forward(f.model, f.weights, f.data.graph, other)),
+            2e-3f);
+}
+
+class PolicySelection : public ::testing::TestWithParam<CachePolicyKind> {};
+
+TEST_P(PolicySelection, AllCacheBehaviorsSelectableThroughTheInterface) {
+  const CachePolicyKind kind = GetParam();
+  Fixture f(GnnKind::kGcn);
+  EngineConfig cfg = EngineConfig::paper_default(false);
+  // No config booleans involved: the policy object alone selects the
+  // behavior (the deprecated flags stay at their defaults).
+  Engine engine(cfg, CachePolicy::make(kind));
+  EXPECT_EQ(engine.cache_policy().kind(), kind);
+
+  CompiledModel compiled = engine.compile(f.model, f.weights);
+  GraphPlanPtr plan = compiled.plan(f.data.graph);
+  EXPECT_EQ(plan->policy().kind(), kind);
+  InferenceResult res = compiled.run({plan, &f.data.features});
+
+  // The aggregation stage reports which policy actually drove it.
+  ASSERT_FALSE(res.report.layers.empty());
+  for (const LayerReport& lr : res.report.layers) {
+    EXPECT_EQ(lr.aggregation.policy, kind);
+  }
+  // All policies compute the same function.
+  Matrix want = reference_forward(f.model, f.weights, f.data.graph, f.data.features);
+  EXPECT_LT(Matrix::max_abs_diff(res.output, want), 2e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicySelection,
+                         ::testing::ValuesIn(all_cache_policy_kinds()),
+                         [](const auto& info) {
+                           std::string name = to_string(info.param);
+                           std::erase(name, '-');  // gtest names must be identifiers
+                           return name;
+                         });
+
+TEST(Serving, PolicyChoiceChangesTheCostModelNotTheFunction) {
+  Fixture f(GnnKind::kGcn);
+  EngineConfig cfg = EngineConfig::paper_default(false);
+  cfg.buffers.input = 32u << 10;  // small buffer so the policies diverge
+
+  Engine degree(cfg, CachePolicy::make(CachePolicyKind::kDegreeAware));
+  Engine on_demand(cfg, CachePolicy::make(CachePolicyKind::kOnDemand));
+  CompiledModel cm_degree = degree.compile(f.model, f.weights);
+  CompiledModel cm_demand = on_demand.compile(f.model, f.weights);
+  InferenceResult r_degree =
+      cm_degree.run({cm_degree.plan(f.data.graph), &f.data.features});
+  InferenceResult r_demand =
+      cm_demand.run({cm_demand.plan(f.data.graph), &f.data.features});
+
+  EXPECT_LT(Matrix::max_abs_diff(r_degree.output, r_demand.output), 1e-4f);
+  std::uint64_t demand_random = 0;
+  for (const LayerReport& lr : r_demand.report.layers) {
+    demand_random += lr.aggregation.random_dram_accesses;
+  }
+  EXPECT_GT(demand_random, 0u);  // on-demand pulls pay random DRAM
+  for (const LayerReport& lr : r_degree.report.layers) {
+    if (!lr.aggregation.livelock_sweep) {
+      EXPECT_EQ(lr.aggregation.random_dram_accesses, 0u);
+    }
+  }
+}
+
+TEST(Serving, CompileValidatesShapesUpFront) {
+  Fixture f(GnnKind::kGcn);
+  Engine engine(EngineConfig::paper_default(false));
+  ModelConfig bad = f.model;
+  bad.input_dim += 1;  // weights no longer match
+  EXPECT_THROW(engine.compile(bad, f.weights), std::invalid_argument);
+
+  ModelConfig no_layers = f.model;
+  no_layers.num_layers = 3;  // weights carry 2
+  EXPECT_THROW(engine.compile(no_layers, f.weights), std::invalid_argument);
+}
+
+TEST(Serving, PlanAndRunValidateTheirInputs) {
+  Fixture f(GnnKind::kGcn);
+  Fixture sage(GnnKind::kGraphSage);
+  Engine engine(EngineConfig::paper_default(false));
+  CompiledModel compiled = engine.compile(f.model, f.weights);
+
+  // GraphSAGE models demand sampled adjacencies; others refuse them.
+  CompiledModel compiled_sage = engine.compile(sage.model, sage.weights);
+  EXPECT_THROW(compiled_sage.plan(sage.data.graph), std::invalid_argument);
+  EXPECT_THROW(compiled.plan(f.data.graph, sage.sampled), std::invalid_argument);
+
+  // Requests need a plan and features, and the plan must be ours.
+  GraphPlanPtr plan = compiled.plan(f.data.graph);
+  EXPECT_THROW(compiled.run({nullptr, &f.data.features}), std::invalid_argument);
+  EXPECT_THROW(compiled.run({plan, nullptr}), std::invalid_argument);
+  CompiledModel other = engine.compile(f.model, f.weights);
+  EXPECT_THROW(other.run({plan, &f.data.features}), std::invalid_argument);
+
+  // A plan that outlives its CompiledModel is detected, not aliased.
+  GraphPlanPtr stale;
+  {
+    CompiledModel temp = engine.compile(f.model, f.weights);
+    stale = temp.plan(f.data.graph);
+  }
+  EXPECT_THROW(compiled.run({stale, &f.data.features}), std::invalid_argument);
+}
+
+TEST(Serving, GraphSagePlanBindsSampledAdjacencies) {
+  Fixture f(GnnKind::kGraphSage);
+  EngineConfig cfg = EngineConfig::paper_default(false);
+  Engine engine(cfg);
+  CompiledModel compiled = engine.compile(f.model, f.weights);
+  GraphPlanPtr plan = compiled.plan(f.data.graph, f.sampled);
+  ASSERT_EQ(plan->sampled_layer_count(), f.model.num_layers);
+  for (std::uint32_t l = 0; l < f.model.num_layers; ++l) {
+    EXPECT_EQ(plan->sampled_graph(l).edge_count(), f.sampled[l].edge_count());
+  }
+  // The plan owns its copies: rerunning with it works even if the caller's
+  // sampled vector goes away.
+  std::vector<Csr> gone = std::move(f.sampled);
+  gone.clear();
+  InferenceResult res = compiled.run({plan, &f.data.features});
+  EXPECT_GT(res.report.total_cycles, 0u);
+}
+
+}  // namespace
+}  // namespace gnnie
