@@ -82,4 +82,14 @@ InferenceReport run_gnnie(const Workload& w, const EngineConfig& cfg) {
   return engine.run(w.model, w.weights, w.data.graph, w.data.features, w.sampled).report;
 }
 
+bool json_braces_balanced(const std::string& s) {
+  int depth = 0;
+  for (char c : s) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    if (depth < 0) return false;
+  }
+  return depth == 0;
+}
+
 }  // namespace gnnie::bench

@@ -36,6 +36,11 @@ std::string scale_note(const DatasetSpec& spec, double scale);
 /// Prints the standard bench banner: figure/table id + claim being checked.
 void print_banner(const std::string& experiment, const std::string& claim);
 
+/// Structural sanity check for emitted JSON (shared by JSON-emitting
+/// benches and the report-IO tests): {}/[] nesting balanced and never
+/// negative. Not a parser — report_io emits no strings with braces.
+bool json_braces_balanced(const std::string& s);
+
 /// A dataset + model + weights bundle ready to run on any engine/baseline.
 struct Workload {
   Dataset data;

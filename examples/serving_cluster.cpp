@@ -1,0 +1,77 @@
+// Serving-cluster walkthrough: trace → scheduler → cluster → report.
+//
+// Two graphs ("tenants") share a 4-die cluster under bursty open-loop
+// traffic. The same trace is replayed under every scheduler and at two
+// cluster sizes, showing what the serving layer adds over run_batch: tail
+// latency, queueing delay, and per-die utilization in cluster virtual time.
+//
+//   $ ./example_serving_cluster
+#include <cstdio>
+
+#include "serve/cluster.hpp"
+#include "datasets/synthetic.hpp"
+#include "nn/layers.hpp"
+
+int main() {
+  using namespace gnnie;
+
+  // 1. Two tenants: synthetic Cora and Citeseer, one GCN served for both.
+  Dataset cora = generate_dataset(spec_of(DatasetId::kCora).scaled(0.25), 1);
+  Dataset cite = generate_dataset(spec_of(DatasetId::kCiteseer).scaled(0.25), 2);
+
+  ModelConfig model;
+  model.kind = GnnKind::kGcn;
+  model.input_dim = cora.spec.feature_length;
+  GnnWeights weights = init_weights(model, 7);
+  // Citeseer features are wider than Cora's — re-generate them at Cora's
+  // width so one compiled model serves both graphs.
+  DatasetSpec cite_spec = cite.spec;
+  cite_spec.feature_length = cora.spec.feature_length;
+  SparseMatrix cite_features = generate_features(cite_spec, 3);
+
+  Engine engine(EngineConfig::paper_default(false));
+  CompiledModel compiled = engine.compile(model, weights);
+
+  // 2. Plan each tenant's graph once; plans live in the bounded LRU plan
+  //    cache and are shared by every request.
+  GraphPlanPtr cora_plan = compiled.plan(cora.graph);
+  GraphPlanPtr cite_plan = compiled.plan(cite.graph);
+  const Cycles cora_cost = compiled.run_cost({cora_plan, &cora.features}).total_cycles;
+  const Cycles cite_cost = compiled.run_cost({cite_plan, &cite_features}).total_cycles;
+  std::printf("service time: cora %llu cycles, citeseer %llu cycles\n",
+              (unsigned long long)cora_cost, (unsigned long long)cite_cost);
+
+  // 3. An open-loop bursty (MMPP) trace over both tenants: calm traffic at
+  //    ~60%% of one die's capacity, bursts at 4x that rate.
+  const double calm_gap = static_cast<double>(cora_cost) / 0.6;
+  serve::RequestTrace trace = serve::RequestTrace::bursty(
+      {{cora_plan, &cora.features, 2.0}, {cite_plan, &cite_features, 1.0}},
+      /*count=*/300, calm_gap, calm_gap / 4.0,
+      /*mean_calm_run=*/40.0, /*mean_burst_run=*/15.0, /*seed=*/11);
+  std::printf("trace: %zu requests over %zu streams, horizon %llu cycles\n\n",
+              trace.size(), trace.stream_count(), (unsigned long long)trace.horizon());
+
+  // 4. Replay the same trace under every scheduler at 1 and 4 dies.
+  std::printf("%6s %-16s %12s %12s %12s %12s %8s\n", "dies", "scheduler", "p50 (us)",
+              "p95 (us)", "p99 (us)", "queue depth", "util");
+  for (std::size_t dies : {std::size_t{1}, std::size_t{4}}) {
+    serve::Cluster cluster(compiled, dies);
+    for (serve::SchedulerKind kind : serve::all_scheduler_kinds()) {
+      auto scheduler = serve::Scheduler::make(kind);
+      ServingReport rep = cluster.simulate(trace, *scheduler);
+      const double us = 1e6 / rep.clock_hz;
+      double util = 0.0;
+      for (std::size_t d = 0; d < dies; ++d) util += rep.die_utilization(d);
+      std::printf("%6zu %-16s %12.1f %12.1f %12.1f %12.2f %7.0f%%\n", dies,
+                  rep.scheduler.c_str(), rep.p50_latency_cycles() * us,
+                  rep.p95_latency_cycles() * us, rep.p99_latency_cycles() * us,
+                  rep.mean_queue_depth(), 100.0 * util / static_cast<double>(dies));
+    }
+  }
+
+  std::printf(
+      "\nOne die saturates during bursts and the tail explodes; four dies ride\n"
+      "them out. Graph-affinity consolidates each tenant on dies whose plan\n"
+      "state matches — locality bought with some of shortest-queue's balance.\n");
+  return 0;
+}

@@ -146,9 +146,8 @@ AggregationEngine::AggregationEngine(const EngineConfig& config, HbmModel* hbm,
   config_.validate();
 }
 
-std::uint64_t AggregationEngine::cache_capacity(const AggregationTask& task) const {
-  const Csr& g = *task.graph;
-  const std::size_t f = task.hw->cols();
+std::uint64_t AggregationEngine::cache_capacity_for(const EngineConfig& config, const Csr& g,
+                                                    std::size_t feature_width, AggKind kind) {
   const double avg_deg = g.vertex_count() == 0
                              ? 0.0
                              : static_cast<double>(g.edge_count()) / g.vertex_count();
@@ -157,12 +156,28 @@ std::uint64_t AggregationEngine::cache_capacity(const AggregationTask& task) con
   // among cached vertices, not every vertex's full neighbor list — full
   // lists stream through during edge discovery). The subgraph share is a
   // small capped slice of the mean degree.
-  const double per_vertex = static_cast<double>(f) * config_.feature_bytes + 4.0 +
-                            (task.kind == AggKind::kGatSoftmax ? 8.0 : 0.0) + 16.0 +
+  const double per_vertex = static_cast<double>(feature_width) * config.feature_bytes + 4.0 +
+                            (kind == AggKind::kGatSoftmax ? 8.0 : 0.0) + 16.0 +
                             std::min(avg_deg, 16.0) * 4.0;
-  auto n = static_cast<std::uint64_t>(static_cast<double>(config_.buffers.input) / per_vertex);
+  auto n = static_cast<std::uint64_t>(static_cast<double>(config.buffers.input) / per_vertex);
   n = std::clamp<std::uint64_t>(n, 8, std::max<std::uint64_t>(8, g.vertex_count()));
   return n;
+}
+
+std::uint64_t AggregationEngine::cache_capacity(const AggregationTask& task) const {
+  return cache_capacity_for(config_, *task.graph, task.hw->cols(), task.kind);
+}
+
+std::vector<std::uint32_t> AggregationEngine::initial_alpha_for(
+    const Csr& g, const ReverseAdjacency* reverse) {
+  std::vector<std::uint32_t> alpha(g.vertex_count());
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    alpha[v] = g.degree(v);
+    if (reverse != nullptr) {
+      alpha[v] += static_cast<std::uint32_t>(reverse->offsets[v + 1] - reverse->offsets[v]);
+    }
+  }
+  return alpha;
 }
 
 Matrix AggregationEngine::run(const AggregationTask& task, AggregationReport* report) {
@@ -181,7 +196,8 @@ Matrix AggregationEngine::run(const AggregationTask& task, AggregationReport* re
   AggregationReport local;
   AggregationReport& rep = report != nullptr ? *report : local;
   rep = AggregationReport{};
-  rep.cache_capacity_vertices = cache_capacity(task);
+  rep.cache_capacity_vertices =
+      task.cache_capacity_hint != 0 ? task.cache_capacity_hint : cache_capacity(task);
 
   const CachePolicy* policy = task.policy;
   std::unique_ptr<CachePolicy> owned_policy;
@@ -231,16 +247,18 @@ Matrix AggregationEngine::run_subgraph(const AggregationTask& task, const CacheP
     rev = owned_rev.get();
   }
 
-  // α_i = unprocessed edge endpoints at vertex i.
-  std::vector<std::uint32_t> alpha(v_count);
-  std::uint64_t remaining_edge_work = 0;  // Σ α
-  for (VertexId v = 0; v < v_count; ++v) {
-    alpha[v] = g.degree(v);
-    if (task.directed) {
-      alpha[v] += static_cast<std::uint32_t>(rev->offsets[v + 1] - rev->offsets[v]);
-    }
-    remaining_edge_work += alpha[v];
+  // α_i = unprocessed edge endpoints at vertex i. A GraphPlan hands the
+  // initial values in precomputed; one-shot callers derive them here.
+  std::vector<std::uint32_t> alpha;
+  if (task.initial_alpha != nullptr) {
+    GNNIE_REQUIRE(task.initial_alpha->size() == v_count,
+                  "precomputed initial alpha must cover every vertex");
+    alpha = *task.initial_alpha;
+  } else {
+    alpha = initial_alpha_for(g, task.directed ? rev : nullptr);
   }
+  std::uint64_t remaining_edge_work = 0;  // Σ α
+  for (VertexId v = 0; v < v_count; ++v) remaining_edge_work += alpha[v];
   const std::uint32_t max_alpha0 =
       *std::max_element(alpha.begin(), alpha.end());
 

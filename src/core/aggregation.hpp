@@ -80,6 +80,15 @@ struct AggregationTask {
   const std::vector<VertexId>* positions = nullptr;
   /// Precomputed reverse adjacency for directed tasks; null → built here.
   const ReverseAdjacency* reverse = nullptr;
+  /// Plan-level precompute of the initial α values (unprocessed edge
+  /// endpoints per vertex: degree, plus reverse in-degree for directed
+  /// tasks). Null → derived here. Must equal what this engine would derive
+  /// — it is used verbatim.
+  const std::vector<std::uint32_t>* initial_alpha = nullptr;
+  /// Plan-level precompute of the input-buffer capacity (vertices) for this
+  /// task's graph and feature width. 0 → derived here via cache_capacity()
+  /// (the derived value is never 0). Must equal the derived value.
+  std::uint64_t cache_capacity_hint = 0;
 };
 
 struct AggregationReport {
@@ -119,7 +128,22 @@ class AggregationEngine {
   Matrix run(const AggregationTask& task, AggregationReport* report = nullptr);
 
   /// Input-buffer capacity in vertices for a task (exposed for tests).
+  /// Ignores task.cache_capacity_hint — this is the derivation the hint
+  /// must reproduce.
   std::uint64_t cache_capacity(const AggregationTask& task) const;
+
+  /// The same derivation from first principles, callable at plan time
+  /// (GraphPlan precomputes one value per distinct feature width so runs
+  /// skip re-deriving it).
+  static std::uint64_t cache_capacity_for(const EngineConfig& config, const Csr& g,
+                                          std::size_t feature_width, AggKind kind);
+
+  /// Initial α values for aggregation over `g`: the degree, plus the
+  /// reverse in-degree for directed tasks (reverse != nullptr). The one
+  /// derivation shared by the per-run fallback and the GraphPlan
+  /// precompute, so the two can never drift apart.
+  static std::vector<std::uint32_t> initial_alpha_for(const Csr& g,
+                                                      const ReverseAdjacency* reverse);
 
  private:
   Matrix run_subgraph(const AggregationTask& task, const CachePolicy& policy,

@@ -25,6 +25,7 @@ void EngineConfig::validate() const {
   GNNIE_REQUIRE(cache.replacement_fraction > 0.0 && cache.replacement_fraction <= 1.0,
                 "replacement fraction in (0,1]");
   GNNIE_REQUIRE(cache.block_vertices >= 1, "cache blocks must hold at least one vertex");
+  GNNIE_REQUIRE(plan_cache_capacity >= 1, "plan cache must hold at least one plan");
 }
 
 }  // namespace gnnie

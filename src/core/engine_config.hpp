@@ -82,6 +82,11 @@ struct EngineConfig {
   /// LR overhead: cycles charged per redistributed block (weight reload
   /// into the light row's spad).
   double lr_cycles_per_block = 0.5;
+  /// Serving-layer knob: how many graphs' plans a CompiledModel retains
+  /// (core/serving.hpp). Least-recently-planned graphs are evicted beyond
+  /// this; re-planning an evicted graph reproduces the identical plan.
+  /// Must be >= 1.
+  std::uint32_t plan_cache_capacity = 16;
 
   /// Paper configuration for a dataset size (§VIII-A input buffer rule).
   static EngineConfig paper_default(bool large_dataset);

@@ -1,5 +1,10 @@
 #include "core/report.hpp"
 
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+
 namespace gnnie {
 
 double InferenceReport::effective_tops() const {
@@ -8,6 +13,47 @@ double InferenceReport::effective_tops() const {
   const double ops = 2.0 * static_cast<double>(total_macs) +
                      static_cast<double>(total_sfu_ops);
   return ops / s / 1e12;
+}
+
+Cycles percentile_of_sorted(const std::vector<Cycles>& sorted, double pct) {
+  GNNIE_REQUIRE(pct > 0.0 && pct <= 100.0, "percentile must be in (0, 100]");
+  if (sorted.empty()) return 0;
+  // Nearest-rank: the smallest value ≥ pct% of the sample.
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(pct / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[std::max<std::size_t>(rank, 1) - 1];
+}
+
+std::vector<Cycles> ServingReport::sorted_latencies() const {
+  std::vector<Cycles> latencies;
+  latencies.reserve(requests.size());
+  for (const RequestRecord& r : requests) latencies.push_back(r.latency_cycles());
+  std::sort(latencies.begin(), latencies.end());
+  return latencies;
+}
+
+Cycles ServingReport::latency_percentile(double pct) const {
+  return percentile_of_sorted(sorted_latencies(), pct);
+}
+
+double ServingReport::mean_queue_depth() const {
+  if (makespan == 0) return 0.0;
+  double waiting_integral = 0.0;
+  for (const RequestRecord& r : requests) {
+    waiting_integral += static_cast<double>(r.queue_cycles());
+  }
+  return waiting_integral / static_cast<double>(makespan);
+}
+
+double ServingReport::die_utilization(std::size_t die) const {
+  GNNIE_REQUIRE(die < die_busy_cycles.size(), "die index out of range");
+  if (makespan == 0) return 0.0;
+  return static_cast<double>(die_busy_cycles[die]) / static_cast<double>(makespan);
+}
+
+double ServingReport::throughput_per_second() const {
+  if (requests.empty() || makespan == 0 || clock_hz <= 0.0) return 0.0;
+  return static_cast<double>(requests.size()) / makespan_seconds();
 }
 
 }  // namespace gnnie

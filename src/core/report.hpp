@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/aggregation.hpp"
@@ -67,5 +68,61 @@ struct BatchReport {
     return s <= 0.0 ? 0.0 : static_cast<double>(requests) / s;
   }
 };
+
+/// One request's lifetime in cluster virtual time (serve::Cluster): it
+/// arrives (open-loop, from the trace), waits in a queue, starts service on
+/// a die, and finishes service_cycles() later.
+struct RequestRecord {
+  std::size_t stream = 0;  ///< trace stream (graph) the request came from
+  std::size_t die = 0;     ///< die that serviced it
+  Cycles arrival = 0;
+  Cycles start = 0;
+  Cycles finish = 0;
+
+  Cycles service_cycles() const { return finish - start; }
+  Cycles queue_cycles() const { return start - arrival; }
+  /// End-to-end latency: queueing delay + service.
+  Cycles latency_cycles() const { return finish - arrival; }
+};
+
+/// Aggregate of one serve::Cluster::simulate() call: per-request records in
+/// trace order, rolled up into tail latency, queue depth, per-die
+/// utilization, and throughput. Unlike BatchReport (sequential service on
+/// one die, makespan only), this is the open-loop serving view — the
+/// "millions of users" metrics are the percentiles, not the mean.
+struct ServingReport {
+  std::vector<RequestRecord> requests;  ///< trace order
+  std::size_t dies = 0;
+  std::string scheduler;                ///< name() of the scheduler that ran
+  double clock_hz = 0.0;
+  Cycles makespan = 0;                  ///< last finish time (0: empty trace)
+  std::vector<Cycles> die_busy_cycles;  ///< summed service time, per die
+
+  /// Nearest-rank latency percentile over all requests; pct in (0, 100].
+  /// Sorts per call — batch callers should sort once (sorted_latencies)
+  /// and use percentile_of_sorted.
+  Cycles latency_percentile(double pct) const;
+  /// All request latencies, ascending.
+  std::vector<Cycles> sorted_latencies() const;
+  Cycles p50_latency_cycles() const { return latency_percentile(50.0); }
+  Cycles p95_latency_cycles() const { return latency_percentile(95.0); }
+  Cycles p99_latency_cycles() const { return latency_percentile(99.0); }
+  Cycles max_latency_cycles() const { return latency_percentile(100.0); }
+
+  /// Time-averaged number of waiting (queued, not yet in service) requests
+  /// over [0, makespan]. By Little's law this is Σ queue_cycles / makespan.
+  double mean_queue_depth() const;
+  /// Fraction of [0, makespan] die `die` spent servicing requests.
+  double die_utilization(std::size_t die) const;
+  Seconds makespan_seconds() const {
+    return clock_hz <= 0.0 ? 0.0 : cycles_to_seconds(makespan, clock_hz);
+  }
+  /// Served inferences per second of cluster virtual time.
+  double throughput_per_second() const;
+};
+
+/// Nearest-rank percentile over an ascending-sorted sample; pct in (0, 100].
+/// Returns 0 for an empty sample.
+Cycles percentile_of_sorted(const std::vector<Cycles>& sorted, double pct);
 
 }  // namespace gnnie

@@ -76,4 +76,35 @@ std::string report_to_json(const InferenceReport& report) {
   return os.str();
 }
 
+void write_serving_report_json(std::ostream& out, const ServingReport& report) {
+  const std::vector<Cycles> latencies = report.sorted_latencies();  // sort once
+  out << "{\"dies\":" << report.dies << ",\"scheduler\":\"" << report.scheduler
+      << "\",\"requests\":" << report.requests.size() << ",\"clock_hz\":" << report.clock_hz
+      << ",\"makespan_cycles\":" << report.makespan
+      << ",\"makespan_seconds\":" << report.makespan_seconds()
+      << ",\"throughput_per_second\":" << report.throughput_per_second()
+      << ",\"p50_latency_cycles\":" << percentile_of_sorted(latencies, 50.0)
+      << ",\"p95_latency_cycles\":" << percentile_of_sorted(latencies, 95.0)
+      << ",\"p99_latency_cycles\":" << percentile_of_sorted(latencies, 99.0)
+      << ",\"max_latency_cycles\":" << percentile_of_sorted(latencies, 100.0)
+      << ",\"mean_queue_depth\":" << report.mean_queue_depth() << ",\"die_utilization\":[";
+  for (std::size_t d = 0; d < report.die_busy_cycles.size(); ++d) {
+    out << (d == 0 ? "" : ",") << report.die_utilization(d);
+  }
+  out << "],\"records\":[";
+  for (std::size_t i = 0; i < report.requests.size(); ++i) {
+    const RequestRecord& r = report.requests[i];
+    out << (i == 0 ? "" : ",") << "{\"stream\":" << r.stream << ",\"die\":" << r.die
+        << ",\"arrival\":" << r.arrival << ",\"start\":" << r.start
+        << ",\"finish\":" << r.finish << "}";
+  }
+  out << "]}";
+}
+
+std::string serving_report_to_json(const ServingReport& report) {
+  std::ostringstream os;
+  write_serving_report_json(os, report);
+  return os.str();
+}
+
 }  // namespace gnnie

@@ -14,4 +14,10 @@ namespace gnnie {
 void write_report_json(std::ostream& out, const InferenceReport& report);
 std::string report_to_json(const InferenceReport& report);
 
+/// Writes a serving-cluster report (serve::Cluster) as a single JSON object:
+/// the latency/throughput rollup, per-die utilization, and the per-request
+/// (arrival, start, finish, die, stream) records in trace order.
+void write_serving_report_json(std::ostream& out, const ServingReport& report);
+std::string serving_report_to_json(const ServingReport& report);
+
 }  // namespace gnnie

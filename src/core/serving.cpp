@@ -12,13 +12,21 @@ namespace gnnie {
 // ---------------------------------------------------------------------------
 // GraphPlan
 
-GraphPlan::SampledBinding::SampledBinding(Csr g, const CachePolicy& pol)
+GraphPlan::SampledBinding::SampledBinding(Csr g, const CachePolicy& pol,
+                                          const EngineConfig& config,
+                                          std::size_t feature_width)
     : graph(std::move(g)) {
   if (pol.uses_subgraph_machinery()) {
     order = pol.layout_order(graph);
     positions = order_positions(order);
     reverse.emplace(graph);
+    // α₀ for the directed sampled adjacency, via the engine's own shared
+    // derivation so the hint cannot drift from the per-run fallback.
+    initial_alpha = AggregationEngine::initial_alpha_for(graph, &*reverse);
   }
+  capacity_width = feature_width;
+  capacity = AggregationEngine::cache_capacity_for(config, graph, feature_width,
+                                                   AggKind::kMax);
 }
 
 // ---------------------------------------------------------------------------
@@ -34,8 +42,16 @@ struct CompiledModel::State {
   std::vector<WeightingGeometry> pool_geom;         // DiffPool pool layers
   std::optional<WeightingGeometry> gin_mlp2_geom;   // GIN second linear
 
+  // Bounded LRU plan cache keyed by graph object (config.plan_cache_capacity
+  // entries; front of the list = most recently planned). Eviction only drops
+  // the cache's reference — plans held by in-flight requests stay valid.
+  struct CachedPlan {
+    GraphPlanPtr plan;
+    std::list<const Csr*>::iterator lru_it;
+  };
   mutable std::mutex plan_mutex;
-  mutable std::unordered_map<const Csr*, GraphPlanPtr> plan_cache;
+  mutable std::list<const Csr*> plan_lru;
+  mutable std::unordered_map<const Csr*, CachedPlan> plan_cache;
 };
 
 const ModelConfig& CompiledModel::model() const { return state_->model; }
@@ -144,6 +160,44 @@ CompiledModel Engine::compile(const ModelConfig& model,
 // ---------------------------------------------------------------------------
 // Planning
 
+namespace {
+
+/// The aggregation kind each model kind drives (mirrors Executor::run_layer's
+/// dispatch; needed at plan time to precompute input-buffer capacities).
+AggKind agg_kind_of(GnnKind kind) {
+  switch (kind) {
+    case GnnKind::kGcn:
+    case GnnKind::kDiffPool:
+      return AggKind::kGcnNormalizedSum;
+    case GnnKind::kGraphSage:
+      return AggKind::kMax;
+    case GnnKind::kGat:
+      return AggKind::kGatSoftmax;
+    case GnnKind::kGinConv:
+      return AggKind::kPlainSum;
+  }
+  return AggKind::kPlainSum;  // unreachable
+}
+
+/// Every feature width the model's aggregation stages run at: the embedding
+/// layers' output widths, plus the pool layers' widths and the Ã·S pass
+/// (pool_clusters wide) for DiffPool.
+std::vector<std::size_t> aggregation_widths(const ModelConfig& model) {
+  std::vector<std::size_t> widths;
+  auto add = [&](std::size_t w) {
+    if (std::find(widths.begin(), widths.end(), w) == widths.end()) widths.push_back(w);
+  };
+  for (std::uint32_t l = 0; l < model.num_layers; ++l) add(model.layer_output_dim(l));
+  if (model.kind == GnnKind::kDiffPool) {
+    for (std::uint32_t l = 0; l < model.num_layers; ++l) {
+      add(l + 1 == model.num_layers ? model.pool_clusters : model.layer_output_dim(l));
+    }
+  }
+  return widths;
+}
+
+}  // namespace
+
 GraphPlanPtr CompiledModel::plan(const Csr& g, std::vector<Csr> sampled_per_layer) const {
   State& s = *state_;
   if (s.model.kind == GnnKind::kGraphSage) {
@@ -165,7 +219,10 @@ GraphPlanPtr CompiledModel::plan(const Csr& g, std::vector<Csr> sampled_per_laye
     auto it = s.plan_cache.find(&g);
     // A hit is honored only if the graph object still holds the structure
     // it was planned for (callers may mutate/reassign the Csr in place).
-    if (it != s.plan_cache.end() && it->second->fingerprint() == fp) return it->second;
+    if (it != s.plan_cache.end() && it->second.plan->fingerprint() == fp) {
+      s.plan_lru.splice(s.plan_lru.begin(), s.plan_lru, it->second.lru_it);
+      return it->second.plan;
+    }
   }
 
   auto plan = std::shared_ptr<GraphPlan>(new GraphPlan());
@@ -177,17 +234,41 @@ GraphPlanPtr CompiledModel::plan(const Csr& g, std::vector<Csr> sampled_per_laye
   plan->policy_ = s.policy;
   if (s.model.kind == GnnKind::kGraphSage) {
     plan->sampled_.reserve(sampled_per_layer.size());
-    for (Csr& sg : sampled_per_layer) {
-      plan->sampled_.emplace_back(std::move(sg), *s.policy);
+    for (std::uint32_t l = 0; l < sampled_per_layer.size(); ++l) {
+      plan->sampled_.emplace_back(std::move(sampled_per_layer[l]), *s.policy, s.config,
+                                  s.model.layer_output_dim(l));
     }
-  } else if (s.policy->uses_subgraph_machinery()) {
-    plan->order_ = s.policy->layout_order(g);
-    plan->positions_ = order_positions(plan->order_);
+  } else {
+    if (s.policy->uses_subgraph_machinery()) {
+      plan->order_ = s.policy->layout_order(g);
+      plan->positions_ = order_positions(plan->order_);
+      // α₀ for undirected aggregation over the planned graph, via the
+      // engine's own shared derivation.
+      plan->initial_alpha_ = AggregationEngine::initial_alpha_for(g, nullptr);
+    }
+    const AggKind kind = agg_kind_of(s.model.kind);
+    for (std::size_t width : aggregation_widths(s.model)) {
+      plan->agg_capacities_.emplace_back(
+          width, AggregationEngine::cache_capacity_for(s.config, g, width, kind));
+    }
   }
 
   if (cacheable) {
     std::lock_guard<std::mutex> lock(s.plan_mutex);
-    s.plan_cache[&g] = plan;
+    auto it = s.plan_cache.find(&g);
+    if (it != s.plan_cache.end()) {
+      // Stale entry for this graph object (or a concurrent planner beat us):
+      // refresh it in place and mark it most-recent.
+      it->second.plan = plan;
+      s.plan_lru.splice(s.plan_lru.begin(), s.plan_lru, it->second.lru_it);
+    } else {
+      if (s.plan_cache.size() >= s.config.plan_cache_capacity) {
+        s.plan_cache.erase(s.plan_lru.back());
+        s.plan_lru.pop_back();
+      }
+      s.plan_lru.push_front(&g);
+      s.plan_cache.emplace(&g, State::CachedPlan{plan, s.plan_lru.begin()});
+    }
   }
   return plan;
 }
@@ -234,8 +315,10 @@ struct Executor {
   }
 
   /// Binds the plan's per-graph precomputation into an aggregation task.
+  /// task.hw must already be set — the capacity hint is keyed by its width.
   void bind_plan(AggregationTask& task, std::size_t layer) {
     task.policy = &plan.policy();
+    const std::size_t f = task.hw->cols();
     if (s.model.kind == GnnKind::kGraphSage) {
       const auto& binding = plan.sampled(layer);
       task.graph = &binding.graph;
@@ -244,12 +327,16 @@ struct Executor {
         task.order = &binding.order;
         task.positions = &binding.positions;
       }
+      if (!binding.initial_alpha.empty()) task.initial_alpha = &binding.initial_alpha;
+      if (f == binding.capacity_width) task.cache_capacity_hint = binding.capacity;
     } else {
       task.graph = &plan.graph();
       if (plan.has_layout()) {
         task.order = &plan.order();
         task.positions = &plan.positions();
       }
+      if (plan.has_initial_alpha()) task.initial_alpha = &plan.initial_alpha();
+      task.cache_capacity_hint = plan.cache_capacity_for_width(f);
     }
   }
 
@@ -430,6 +517,12 @@ InferenceResult CompiledModel::run(const RunRequest& request) const {
   rep.dram = exec.hbm.stats();
   rep.dram_energy = exec.hbm.energy();
   return result;
+}
+
+InferenceReport CompiledModel::run_cost(const RunRequest& request) const {
+  // The full run is required — cycle costs are value-dependent (zero-skip,
+  // sparsity) — but the output matrix dies here instead of being returned.
+  return run(request).report;
 }
 
 BatchResult CompiledModel::run_batch(std::span<const RunRequest> requests) const {

@@ -27,11 +27,13 @@
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/aggregation.hpp"
@@ -68,6 +70,22 @@ class GraphPlan {
   const std::vector<VertexId>& order() const { return order_; }
   const std::vector<VertexId>& positions() const { return positions_; }
 
+  /// Initial α values (unprocessed edge endpoints per vertex) for
+  /// aggregation over the planned graph, precomputed so runs skip the
+  /// per-run derivation. Empty when the policy never reads α (on-demand).
+  bool has_initial_alpha() const { return !initial_alpha_.empty(); }
+  const std::vector<std::uint32_t>& initial_alpha() const { return initial_alpha_; }
+
+  /// Input-buffer capacity (vertices) precomputed for aggregation at one of
+  /// the model's feature widths; 0 for widths the plan did not precompute
+  /// (callers then fall back to the per-run derivation).
+  std::uint64_t cache_capacity_for_width(std::size_t feature_width) const {
+    for (const auto& [width, capacity] : agg_capacities_) {
+      if (width == feature_width) return capacity;
+    }
+    return 0;
+  }
+
  private:
   struct SampledBinding {
     Csr graph;
@@ -76,8 +94,15 @@ class GraphPlan {
     std::vector<VertexId> order;
     std::vector<VertexId> positions;
     std::optional<ReverseAdjacency> reverse;
+    // Plan-level aggregation precompute: α₀ (degree + reverse in-degree;
+    // GraphSAGE bindings are directed) and the input-buffer capacity for
+    // this layer's feature width.
+    std::vector<std::uint32_t> initial_alpha;
+    std::size_t capacity_width = 0;
+    std::uint64_t capacity = 0;
 
-    SampledBinding(Csr g, const CachePolicy& pol);
+    SampledBinding(Csr g, const CachePolicy& pol, const EngineConfig& config,
+                   std::size_t feature_width);
   };
 
  public:
@@ -104,6 +129,11 @@ class GraphPlan {
   std::vector<VertexId> order_;
   std::vector<VertexId> positions_;
   std::vector<SampledBinding> sampled_;
+  std::vector<std::uint32_t> initial_alpha_;
+  /// (feature width → input-buffer capacity) for every width the model's
+  /// aggregation stages run at. Tiny (a handful of entries), so a flat
+  /// vector beats a map.
+  std::vector<std::pair<std::size_t, std::uint64_t>> agg_capacities_;
 };
 
 using GraphPlanPtr = std::shared_ptr<const GraphPlan>;
@@ -139,12 +169,25 @@ class CompiledModel {
   /// must pass one sampled adjacency per layer (sample_neighborhood) —
   /// those plans are not cached, since sampling is fresh per call; all
   /// other plans are cached per graph object and revalidated against the
-  /// graph's structure fingerprint on every hit.
+  /// graph's structure fingerprint on every hit. The cache is a bounded
+  /// LRU (EngineConfig::plan_cache_capacity, default 16 graphs): the
+  /// least-recently planned graph is evicted first, and re-planning an
+  /// evicted graph reproduces the identical plan (planning is
+  /// deterministic). Evicted plans held by in-flight requests stay valid —
+  /// eviction drops the cache's reference, not the plan.
   GraphPlanPtr plan(const Csr& g, std::vector<Csr> sampled_per_layer = {}) const;
 
   /// Executes one request. Stateless: builds fresh accelerator state per
   /// call, so identical requests produce bit-identical outputs and reports.
   InferenceResult run(const RunRequest& request) const;
+
+  /// Timing-only variant of run(): the identical simulation producing the
+  /// identical report, but the output matrix is dropped inside the call
+  /// instead of being materialized in a result. (The values are still
+  /// computed — timing is value-dependent through zero-skip and sparsity —
+  /// but serving simulators that only need cycle costs avoid holding |V|×F
+  /// outputs per request.) serve::Cluster services requests through this.
+  InferenceReport run_cost(const RunRequest& request) const;
 
   /// Services requests sequentially on the modeled accelerator and returns
   /// per-request results plus the aggregate batch report (makespan,

@@ -1,0 +1,154 @@
+#include "serve/cluster.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <map>
+#include <utility>
+
+#include "common/require.hpp"
+
+namespace gnnie::serve {
+
+Cluster::Cluster(CompiledModel model, std::size_t dies)
+    : model_(std::move(model)), die_count_(dies) {
+  GNNIE_REQUIRE(dies >= 1, "a cluster needs at least one die");
+}
+
+namespace {
+
+constexpr Cycles kNever = std::numeric_limits<Cycles>::max();
+
+/// Mutable per-die simulation state (the Scheduler only ever sees the
+/// DieStatus snapshot view).
+struct DieState {
+  std::deque<std::size_t> queue;  ///< waiting request indices, FIFO
+  bool busy = false;
+  std::size_t in_service = 0;     ///< request index (valid when busy)
+  Cycles busy_until = 0;
+};
+
+}  // namespace
+
+ServingReport Cluster::simulate(const RequestTrace& trace,
+                                const Scheduler& scheduler) const {
+  ServingReport report;
+  report.dies = die_count_;
+  report.scheduler = scheduler.name();
+  report.clock_hz = model_.config().clock_hz;
+  report.die_busy_cycles.assign(die_count_, 0);
+  report.requests.resize(trace.size());
+
+  const std::vector<TracedRequest>& arrivals = trace.requests();
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    report.requests[i].stream = arrivals[i].stream;
+    report.requests[i].arrival = arrivals[i].arrival;
+  }
+
+  // Service cost per distinct (plan, features) pair. Runs are stateless, so
+  // the memo is exact; open-loop traces repeat stream requests constantly.
+  std::map<std::pair<const void*, const void*>, Cycles> service_memo;
+  auto service_cycles = [&](std::size_t idx) -> Cycles {
+    const RunRequest& request = arrivals[idx].request;
+    const auto key = std::make_pair(static_cast<const void*>(request.plan.get()),
+                                    static_cast<const void*>(request.features));
+    auto it = service_memo.find(key);
+    if (it == service_memo.end()) {
+      it = service_memo.emplace(key, model_.run_cost(request).total_cycles).first;
+    }
+    return it->second;
+  };
+
+  std::vector<DieState> dies(die_count_);
+  std::vector<DieStatus> status(die_count_);
+  std::deque<std::size_t> deferred;  // the global arrival-order queue
+  std::size_t next_arrival = 0;
+  std::size_t completed = 0;
+
+  auto start_service = [&](std::size_t d, std::size_t idx, Cycles now) {
+    const Cycles service = service_cycles(idx);
+    DieState& die = dies[d];
+    die.busy = true;
+    die.in_service = idx;
+    die.busy_until = now + service;
+    status[d].busy = true;
+    status[d].busy_until = die.busy_until;
+    RequestRecord& rec = report.requests[idx];
+    rec.die = d;
+    rec.start = now;
+    rec.finish = die.busy_until;
+  };
+
+  // Route one request to die `d`: it joins the die's queue (starting
+  // immediately if the die is idle) and the die's affinity flips to the
+  // request's graph.
+  auto enqueue_on_die = [&](std::size_t d, std::size_t idx, Cycles now) {
+    status[d].affinity_fingerprint = arrivals[idx].request.plan->fingerprint();
+    if (!dies[d].busy) {
+      GNNIE_ASSERT(dies[d].queue.empty(), "an idle die cannot hold a queue");
+      start_service(d, idx, now);
+    } else {
+      dies[d].queue.push_back(idx);
+      status[d].queue_depth = dies[d].queue.size();
+    }
+  };
+
+  auto offer = [&](std::size_t idx, Cycles now) -> bool {
+    const std::size_t d = scheduler.pick(arrivals[idx], status, now);
+    if (d == Scheduler::kDefer) return false;
+    GNNIE_REQUIRE(d < die_count_, "scheduler picked a die outside the cluster");
+    enqueue_on_die(d, idx, now);
+    return true;
+  };
+
+  while (completed < arrivals.size()) {
+    // Next event: earliest completion vs earliest pending arrival;
+    // completions win ties so freed dies can seat simultaneous arrivals.
+    Cycles t_completion = kNever;
+    for (const DieState& die : dies) {
+      if (die.busy) t_completion = std::min(t_completion, die.busy_until);
+    }
+    const Cycles t_arrival =
+        next_arrival < arrivals.size() ? arrivals[next_arrival].arrival : kNever;
+    GNNIE_ASSERT(t_completion != kNever || t_arrival != kNever,
+                 "simulation stalled with requests outstanding");
+
+    if (t_completion <= t_arrival) {
+      const Cycles now = t_completion;
+      // Finish every die completing at `now` (die-index order), then hand
+      // out new work — first from each die's own queue, then the global
+      // queue in arrival order.
+      for (std::size_t d = 0; d < die_count_; ++d) {
+        DieState& die = dies[d];
+        if (!die.busy || die.busy_until != now) continue;
+        report.die_busy_cycles[d] += report.requests[die.in_service].service_cycles();
+        ++completed;
+        die.busy = false;
+        status[d].busy = false;
+        status[d].busy_until = 0;
+      }
+      for (std::size_t d = 0; d < die_count_; ++d) {
+        DieState& die = dies[d];
+        if (die.busy || die.queue.empty()) continue;
+        const std::size_t idx = die.queue.front();
+        die.queue.pop_front();
+        status[d].queue_depth = die.queue.size();
+        start_service(d, idx, now);
+      }
+      while (!deferred.empty() && offer(deferred.front(), now)) deferred.pop_front();
+    } else {
+      const Cycles now = t_arrival;
+      const std::size_t idx = next_arrival++;
+      // A deferred backlog means this arrival queues behind it (the global
+      // queue is strictly arrival-ordered).
+      if (!deferred.empty() || !offer(idx, now)) deferred.push_back(idx);
+    }
+  }
+
+  for (const RequestRecord& rec : report.requests) {
+    report.makespan = std::max(report.makespan, rec.finish);
+  }
+  return report;
+}
+
+}  // namespace gnnie::serve

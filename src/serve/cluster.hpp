@@ -1,0 +1,58 @@
+// The serving cluster: N modeled GNNIE dies advanced by a discrete-event
+// loop in virtual time.
+//
+// Each die is an independent engine instance sharing one CompiledModel's
+// immutable compiled state (runs are stateless by construction, so dies
+// never interfere). The simulation is entirely in *modeled* time: a
+// request's service time is its InferenceReport::total_cycles — the same
+// number a lone run() would report — and queueing delay accrues in cluster
+// virtual cycles between its open-loop arrival and its service start.
+//
+// Event loop: the next event is either the earliest pending arrival or the
+// earliest die completion (completions at time t are processed before
+// arrivals at t, in die-index order, so a freed die can seat a simultaneous
+// arrival). On arrival the Scheduler routes the request to a die queue or
+// defers it to the global arrival-order queue; on completion the die first
+// drains its own queue, then deferred requests are re-offered in arrival
+// order. Everything is deterministic: a (trace, scheduler, die count)
+// triple always produces the identical ServingReport.
+//
+// Degenerate case, by design: one die + FIFO + a zero-gap trace reproduces
+// CompiledModel::run_batch exactly — same per-request cycle counts, and a
+// makespan equal to BatchReport::total_cycles.
+//
+// Service costs are memoized per distinct (plan, features) pair — open-loop
+// traces repeat the same stream request many times, and re-simulating a
+// bit-identical run to rediscover its cycle count would dominate the
+// simulation. The memo is exact, not an approximation, because runs are
+// stateless.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/report.hpp"
+#include "core/serving.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/trace.hpp"
+
+namespace gnnie::serve {
+
+class Cluster {
+ public:
+  /// `dies` independent engine instances over one compiled model.
+  Cluster(CompiledModel model, std::size_t dies);
+
+  std::size_t die_count() const { return die_count_; }
+  const CompiledModel& model() const { return model_; }
+
+  /// Runs the trace through the scheduler over this cluster and returns the
+  /// per-request records plus the tail-latency/utilization rollup.
+  ServingReport simulate(const RequestTrace& trace, const Scheduler& scheduler) const;
+
+ private:
+  CompiledModel model_;
+  std::size_t die_count_;
+};
+
+}  // namespace gnnie::serve

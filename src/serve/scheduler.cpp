@@ -1,0 +1,96 @@
+#include "serve/scheduler.hpp"
+
+#include "common/require.hpp"
+
+namespace gnnie::serve {
+namespace {
+
+/// Die with the fewest in-flight requests, lowest index on ties.
+std::size_t least_loaded(std::span<const DieStatus> dies) {
+  std::size_t best = 0;
+  for (std::size_t d = 1; d < dies.size(); ++d) {
+    if (dies[d].in_flight() < dies[best].in_flight()) best = d;
+  }
+  return best;
+}
+
+struct FifoScheduler final : Scheduler {
+  SchedulerKind kind() const override { return SchedulerKind::kFifo; }
+
+  std::size_t pick(const TracedRequest&, std::span<const DieStatus> dies,
+                   Cycles) const override {
+    // Global FIFO: only dispatch onto an idle die; otherwise wait in the
+    // arrival-order queue. Starts therefore happen in arrival order.
+    for (std::size_t d = 0; d < dies.size(); ++d) {
+      if (!dies[d].busy && dies[d].queue_depth == 0) return d;
+    }
+    return kDefer;
+  }
+};
+
+struct ShortestQueueScheduler final : Scheduler {
+  SchedulerKind kind() const override { return SchedulerKind::kShortestQueue; }
+
+  std::size_t pick(const TracedRequest&, std::span<const DieStatus> dies,
+                   Cycles) const override {
+    return least_loaded(dies);
+  }
+};
+
+struct GraphAffinityScheduler final : Scheduler {
+  SchedulerKind kind() const override { return SchedulerKind::kGraphAffinity; }
+
+  std::size_t pick(const TracedRequest& request, std::span<const DieStatus> dies,
+                   Cycles) const override {
+    const std::uint64_t fp = request.request.plan->fingerprint();
+    // 1. Least-loaded die already holding this graph's plan state.
+    std::size_t best = kDefer;
+    for (std::size_t d = 0; d < dies.size(); ++d) {
+      if (dies[d].affinity_fingerprint != fp) continue;
+      if (best == kDefer || dies[d].in_flight() < dies[best].in_flight()) best = d;
+    }
+    if (best != kDefer) return best;
+    // 2. An untouched die (claim it for this graph rather than thrash a
+    //    die that is warm for another graph).
+    for (std::size_t d = 0; d < dies.size(); ++d) {
+      if (dies[d].affinity_fingerprint == 0) return d;
+    }
+    // 3. Every die is warm for some other graph: spill to the least loaded.
+    return least_loaded(dies);
+  }
+};
+
+}  // namespace
+
+const char* to_string(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kFifo:
+      return "fifo";
+    case SchedulerKind::kShortestQueue:
+      return "shortest-queue";
+    case SchedulerKind::kGraphAffinity:
+      return "graph-affinity";
+  }
+  return "?";
+}
+
+const std::vector<SchedulerKind>& all_scheduler_kinds() {
+  static const std::vector<SchedulerKind> kinds = {
+      SchedulerKind::kFifo, SchedulerKind::kShortestQueue, SchedulerKind::kGraphAffinity};
+  return kinds;
+}
+
+std::unique_ptr<Scheduler> Scheduler::make(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kFifo:
+      return std::make_unique<FifoScheduler>();
+    case SchedulerKind::kShortestQueue:
+      return std::make_unique<ShortestQueueScheduler>();
+    case SchedulerKind::kGraphAffinity:
+      return std::make_unique<GraphAffinityScheduler>();
+  }
+  GNNIE_REQUIRE(false, "unknown scheduler kind");
+  return nullptr;
+}
+
+}  // namespace gnnie::serve

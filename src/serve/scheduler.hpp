@@ -1,0 +1,71 @@
+// Pluggable request dispatch for the serving cluster.
+//
+// A Scheduler decides, for each arriving (or re-offered) request, which die
+// queue it joins — or defers it to the cluster's global arrival-order queue
+// to wait for a free die. Three policies ship:
+//
+//   * FIFO — one global queue: a request is dispatched only when a die is
+//     idle, so service starts cluster-wide in arrival order. On one die
+//     this reproduces CompiledModel::run_batch exactly.
+//   * shortest-queue — join the die with the fewest in-flight requests
+//     (queued + in service) at arrival time; classic load balancing.
+//   * graph-affinity — like shortest-queue, but prefer dies whose last
+//     routed request used the same GraphPlan (matching fingerprint): those
+//     dies' plan/cache state matches the request's graph, the DGI/DCI-style
+//     locality argument. Falls back to an untouched die, then to the least
+//     loaded one.
+//
+// Schedulers are stateless (all routing state lives in the DieStatus
+// snapshots the Cluster maintains), so a (trace, scheduler kind, cluster)
+// triple always simulates to the same ServingReport.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/units.hpp"
+#include "serve/trace.hpp"
+
+namespace gnnie::serve {
+
+enum class SchedulerKind { kFifo, kShortestQueue, kGraphAffinity };
+
+const char* to_string(SchedulerKind kind);
+const std::vector<SchedulerKind>& all_scheduler_kinds();
+
+/// Per-die snapshot handed to the scheduler at each dispatch decision.
+struct DieStatus {
+  std::size_t queue_depth = 0;  ///< waiting requests (excludes the one in service)
+  bool busy = false;            ///< a request is in service right now
+  Cycles busy_until = 0;        ///< finish time of the in-service request (if busy)
+  /// Plan fingerprint of the last request routed to this die (0 = none yet)
+  /// — the graph whose plan/cache state the die will hold once its queue
+  /// drains. Graph-affinity routes on this.
+  std::uint64_t affinity_fingerprint = 0;
+
+  std::size_t in_flight() const { return queue_depth + (busy ? 1 : 0); }
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual SchedulerKind kind() const = 0;
+  const char* name() const { return to_string(kind()); }
+
+  /// Sentinel: leave the request in the cluster's global FIFO; it is
+  /// re-offered every time a die completes.
+  static constexpr std::size_t kDefer = static_cast<std::size_t>(-1);
+
+  /// Dispatch decision for one request: a die index to enqueue it on, or
+  /// kDefer. Must be deterministic in (request, dies, now) — ties broken by
+  /// die index — so simulations are reproducible.
+  virtual std::size_t pick(const TracedRequest& request, std::span<const DieStatus> dies,
+                           Cycles now) const = 0;
+
+  static std::unique_ptr<Scheduler> make(SchedulerKind kind);
+};
+
+}  // namespace gnnie::serve

@@ -1,0 +1,101 @@
+#include "serve/trace.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+
+namespace gnnie::serve {
+namespace {
+
+void validate_streams(const std::vector<TraceStream>& streams) {
+  GNNIE_REQUIRE(!streams.empty(), "a trace needs at least one stream");
+  for (const TraceStream& s : streams) {
+    GNNIE_REQUIRE(s.plan != nullptr, "every stream needs a GraphPlan");
+    GNNIE_REQUIRE(s.features != nullptr, "every stream needs features");
+    GNNIE_REQUIRE(s.weight > 0.0, "stream weights must be positive");
+  }
+}
+
+/// Weighted stream draw (cumulative scan; stream lists are tiny).
+std::size_t draw_stream(const std::vector<TraceStream>& streams, Rng& rng) {
+  double total = 0.0;
+  for (const TraceStream& s : streams) total += s.weight;
+  double u = rng.next_double() * total;
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    u -= streams[i].weight;
+    if (u < 0.0) return i;
+  }
+  return streams.size() - 1;  // floating-point residue lands on the last
+}
+
+/// Exponential gap with the given mean, rounded to whole cycles.
+Cycles exponential_gap(double mean, Rng& rng) {
+  const double u = rng.next_double();  // [0, 1)
+  const double gap = -mean * std::log1p(-u);
+  return static_cast<Cycles>(std::llround(gap));
+}
+
+}  // namespace
+
+RequestTrace::RequestTrace(std::vector<TraceStream> streams)
+    : streams_(std::move(streams)) {
+  validate_streams(streams_);
+}
+
+void RequestTrace::emit(Cycles arrival, std::size_t stream) {
+  TracedRequest r;
+  r.arrival = arrival;
+  r.stream = stream;
+  r.request.plan = streams_[stream].plan;
+  r.request.features = streams_[stream].features;
+  requests_.push_back(std::move(r));
+}
+
+RequestTrace RequestTrace::fixed_interval(std::vector<TraceStream> streams,
+                                          std::size_t count, Cycles gap) {
+  RequestTrace trace(std::move(streams));
+  trace.requests_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    trace.emit(static_cast<Cycles>(i) * gap, i % trace.streams_.size());
+  }
+  return trace;
+}
+
+RequestTrace RequestTrace::poisson(std::vector<TraceStream> streams, std::size_t count,
+                                   double mean_gap_cycles, std::uint64_t seed) {
+  GNNIE_REQUIRE(mean_gap_cycles >= 0.0, "mean gap must be non-negative");
+  RequestTrace trace(std::move(streams));
+  trace.requests_.reserve(count);
+  Rng rng(seed);
+  Cycles now = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (i > 0) now += exponential_gap(mean_gap_cycles, rng);
+    trace.emit(now, draw_stream(trace.streams_, rng));
+  }
+  return trace;
+}
+
+RequestTrace RequestTrace::bursty(std::vector<TraceStream> streams, std::size_t count,
+                                  double calm_gap_cycles, double burst_gap_cycles,
+                                  double mean_calm_run, double mean_burst_run,
+                                  std::uint64_t seed) {
+  GNNIE_REQUIRE(calm_gap_cycles >= 0.0 && burst_gap_cycles >= 0.0,
+                "mean gaps must be non-negative");
+  GNNIE_REQUIRE(mean_calm_run >= 1.0 && mean_burst_run >= 1.0,
+                "mean run lengths are in requests (>= 1)");
+  RequestTrace trace(std::move(streams));
+  trace.requests_.reserve(count);
+  Rng rng(seed);
+  Cycles now = 0;
+  bool burst = false;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (i > 0) now += exponential_gap(burst ? burst_gap_cycles : calm_gap_cycles, rng);
+    trace.emit(now, draw_stream(trace.streams_, rng));
+    // Geometric run lengths: flip with probability 1/mean after each arrival.
+    if (rng.next_bool(1.0 / (burst ? mean_burst_run : mean_calm_run))) burst = !burst;
+  }
+  return trace;
+}
+
+}  // namespace gnnie::serve

@@ -445,5 +445,96 @@ TEST_P(GammaSweep, AlwaysConvergesAndStaysCorrect) {
 
 INSTANTIATE_TEST_SUITE_P(Gammas, GammaSweep, ::testing::Values(1, 2, 5, 10, 20, 40));
 
+// Plan-level precompute hints (GraphPlan hands these in) must be invisible:
+// a hinted run is bit-identical — outputs, cycles, DRAM traffic, evictions —
+// to the self-deriving run it replaces.
+TEST(Aggregation, PrecomputedAlphaAndCapacityHintsAreBitExact) {
+  Dataset d = tiny_cora();
+  Matrix hw = random_dense(d.graph.vertex_count(), 32, 15);
+  EngineConfig cfg = small_config();
+  auto policy = CachePolicy::make(CachePolicyKind::kDegreeAware);
+
+  AggregationTask task;
+  task.graph = &d.graph;
+  task.hw = &hw;
+  task.kind = AggKind::kGcnNormalizedSum;
+  task.policy = policy.get();
+
+  HbmModel hbm_plain;
+  AggregationReport plain;
+  Matrix out_plain = AggregationEngine(cfg, &hbm_plain).run(task, &plain);
+
+  // The hints the serving plan precomputes: α₀ = degree (undirected) and
+  // the capacity from the shared static derivation.
+  std::vector<std::uint32_t> alpha0(d.graph.vertex_count());
+  for (VertexId v = 0; v < d.graph.vertex_count(); ++v) alpha0[v] = d.graph.degree(v);
+  task.initial_alpha = &alpha0;
+  task.cache_capacity_hint =
+      AggregationEngine::cache_capacity_for(cfg, d.graph, hw.cols(), task.kind);
+
+  HbmModel hbm_hinted;
+  AggregationReport hinted;
+  Matrix out_hinted = AggregationEngine(cfg, &hbm_hinted).run(task, &hinted);
+
+  EXPECT_EQ(Matrix::max_abs_diff(out_plain, out_hinted), 0.0f);
+  EXPECT_EQ(plain.total_cycles, hinted.total_cycles);
+  EXPECT_EQ(plain.compute_cycles, hinted.compute_cycles);
+  EXPECT_EQ(plain.memory_cycles, hinted.memory_cycles);
+  EXPECT_EQ(plain.iterations, hinted.iterations);
+  EXPECT_EQ(plain.rounds, hinted.rounds);
+  EXPECT_EQ(plain.dram_bytes, hinted.dram_bytes);
+  EXPECT_EQ(plain.dram_accesses, hinted.dram_accesses);
+  EXPECT_EQ(plain.evictions, hinted.evictions);
+  EXPECT_EQ(plain.refetches, hinted.refetches);
+  EXPECT_EQ(plain.cache_capacity_vertices, hinted.cache_capacity_vertices);
+
+  // A wrong-sized α precompute is rejected, not silently trusted.
+  std::vector<std::uint32_t> short_alpha(alpha0.begin(), alpha0.end() - 1);
+  task.initial_alpha = &short_alpha;
+  HbmModel hbm_bad;
+  EXPECT_THROW(AggregationEngine(cfg, &hbm_bad).run(task), std::invalid_argument);
+}
+
+// The directed (GraphSAGE sampled-adjacency) variant of the same contract:
+// α₀ = out-degree + reverse in-degree.
+TEST(Aggregation, PrecomputedAlphaIsBitExactOnDirectedTasks) {
+  Dataset d = tiny_cora();
+  Csr sampled = sample_neighborhood(d.graph, 5, 31);
+  Matrix hw = random_dense(d.graph.vertex_count(), 16, 21);
+  EngineConfig cfg = small_config();
+  auto policy = CachePolicy::make(CachePolicyKind::kDegreeAware);
+  ReverseAdjacency rev(sampled);
+
+  AggregationTask task;
+  task.graph = &sampled;
+  task.directed = true;
+  task.hw = &hw;
+  task.kind = AggKind::kMax;
+  task.policy = policy.get();
+  task.reverse = &rev;
+
+  HbmModel hbm_plain;
+  AggregationReport plain;
+  Matrix out_plain = AggregationEngine(cfg, &hbm_plain).run(task, &plain);
+
+  std::vector<std::uint32_t> alpha0(sampled.vertex_count());
+  for (VertexId v = 0; v < sampled.vertex_count(); ++v) {
+    alpha0[v] = sampled.degree(v) +
+                static_cast<std::uint32_t>(rev.offsets[v + 1] - rev.offsets[v]);
+  }
+  task.initial_alpha = &alpha0;
+  task.cache_capacity_hint =
+      AggregationEngine::cache_capacity_for(cfg, sampled, hw.cols(), task.kind);
+
+  HbmModel hbm_hinted;
+  AggregationReport hinted;
+  Matrix out_hinted = AggregationEngine(cfg, &hbm_hinted).run(task, &hinted);
+
+  EXPECT_EQ(Matrix::max_abs_diff(out_plain, out_hinted), 0.0f);
+  EXPECT_EQ(plain.total_cycles, hinted.total_cycles);
+  EXPECT_EQ(plain.dram_bytes, hinted.dram_bytes);
+  EXPECT_EQ(plain.evictions, hinted.evictions);
+}
+
 }  // namespace
 }  // namespace gnnie

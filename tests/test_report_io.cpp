@@ -4,6 +4,7 @@
 
 #include <string>
 
+#include "bench_util.hpp"
 #include "core/engine.hpp"
 #include "core/report_io.hpp"
 #include "datasets/synthetic.hpp"
@@ -23,19 +24,11 @@ InferenceReport make_report(GnnKind kind) {
   return engine.run(m, w, d.graph, d.features).report;
 }
 
-bool braces_balanced(const std::string& s) {
-  int depth = 0;
-  for (char c : s) {
-    if (c == '{' || c == '[') ++depth;
-    if (c == '}' || c == ']') --depth;
-    if (depth < 0) return false;
-  }
-  return depth == 0;
-}
+using bench::json_braces_balanced;
 
 TEST(ReportIo, JsonIsStructurallyValid) {
   const std::string json = report_to_json(make_report(GnnKind::kGcn));
-  EXPECT_TRUE(braces_balanced(json));
+  EXPECT_TRUE(json_braces_balanced(json));
   EXPECT_EQ(json.front(), '{');
   EXPECT_EQ(json.back(), '}');
 }
@@ -69,6 +62,57 @@ TEST(ReportIo, GatIncludesAttentionSection) {
 TEST(ReportIo, GinIncludesSecondLinear) {
   const std::string json = report_to_json(make_report(GnnKind::kGinConv));
   EXPECT_NE(json.find("\"mlp2\""), std::string::npos);
+}
+
+ServingReport make_serving_report() {
+  ServingReport rep;
+  rep.dies = 2;
+  rep.scheduler = "fifo";
+  rep.clock_hz = 1.3e9;
+  rep.makespan = 400;
+  rep.die_busy_cycles = {300, 100};
+  for (std::size_t i = 0; i < 3; ++i) {
+    RequestRecord r;
+    r.stream = i % 2;
+    r.die = i % 2;
+    r.arrival = i * 50;
+    r.start = r.arrival + 10 * i;
+    r.finish = r.start + 100;
+    rep.requests.push_back(r);
+  }
+  return rep;
+}
+
+TEST(ReportIo, ServingJsonIsStructurallyValidWithRequiredKeys) {
+  const std::string json = serving_report_to_json(make_serving_report());
+  EXPECT_TRUE(json_braces_balanced(json));
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  for (const char* key :
+       {"\"dies\"", "\"scheduler\"", "\"makespan_cycles\"", "\"p50_latency_cycles\"",
+        "\"p95_latency_cycles\"", "\"p99_latency_cycles\"", "\"mean_queue_depth\"",
+        "\"die_utilization\"", "\"throughput_per_second\"", "\"records\"",
+        "\"arrival\"", "\"start\"", "\"finish\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(ReportIo, ServingJsonNumbersMatchReport) {
+  const ServingReport rep = make_serving_report();
+  const std::string json = serving_report_to_json(rep);
+  EXPECT_NE(json.find("\"makespan_cycles\":" + std::to_string(rep.makespan)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"p99_latency_cycles\":" +
+                      std::to_string(rep.p99_latency_cycles())),
+            std::string::npos);
+  EXPECT_NE(json.find("\"scheduler\":\"fifo\""), std::string::npos);
+  // One record object per request.
+  std::size_t count = 0, pos = 0;
+  while ((pos = json.find("\"arrival\"", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, rep.requests.size());
 }
 
 TEST(ReportIo, LayerCountMatches) {

@@ -106,6 +106,90 @@ TEST(Serving, PlanCacheRevalidatesWhenGraphObjectIsReassigned) {
   EXPECT_THROW(compiled.run({plan2, &f.data.features}), std::invalid_argument);
 }
 
+TEST(Serving, PlanCacheEvictsLeastRecentlyPlannedGraph) {
+  Fixture f(GnnKind::kGcn);
+  EngineConfig cfg = EngineConfig::paper_default(false);
+  cfg.plan_cache_capacity = 2;
+  Engine engine(cfg);
+  CompiledModel compiled = engine.compile(f.model, f.weights);
+
+  Csr g1 = generate_graph(spec_of(DatasetId::kCora).scaled(0.05), 1);
+  Csr g2 = generate_graph(spec_of(DatasetId::kCora).scaled(0.05), 2);
+  Csr g3 = generate_graph(spec_of(DatasetId::kCora).scaled(0.05), 3);
+
+  GraphPlanPtr p1 = compiled.plan(g1);
+  GraphPlanPtr p2 = compiled.plan(g2);
+  // Touch g1 so g2 is the least recently planned, then overflow with g3.
+  EXPECT_EQ(compiled.plan(g1).get(), p1.get());
+  GraphPlanPtr p3 = compiled.plan(g3);
+
+  // g1 and g3 are still cached; g2 was evicted and re-plans to a new object.
+  EXPECT_EQ(compiled.plan(g1).get(), p1.get());
+  EXPECT_EQ(compiled.plan(g3).get(), p3.get());
+  GraphPlanPtr p2_again = compiled.plan(g2);
+  EXPECT_NE(p2_again.get(), p2.get());
+
+  // An evicted-then-replanned graph produces the identical plan: planning
+  // is deterministic, so layout, positions, and fingerprint all match.
+  EXPECT_EQ(p2_again->fingerprint(), p2->fingerprint());
+  EXPECT_EQ(p2_again->order(), p2->order());
+  EXPECT_EQ(p2_again->positions(), p2->positions());
+  EXPECT_EQ(p2_again->initial_alpha(), p2->initial_alpha());
+
+  // The evicted plan object itself stays valid for in-flight requests and
+  // still produces exactly what a fresh plan does.
+  SparseMatrix features = generate_features(spec_of(DatasetId::kCora).scaled(0.05), 11);
+  InferenceResult via_old = compiled.run({p2, &features});
+  InferenceResult via_new = compiled.run({p2_again, &features});
+  EXPECT_EQ(Matrix::max_abs_diff(via_old.output, via_new.output), 0.0f);
+  EXPECT_EQ(via_old.report.total_cycles, via_new.report.total_cycles);
+}
+
+TEST(Serving, PlanCacheDefaultCapacityIsSixteen) {
+  Fixture f(GnnKind::kGcn);
+  EngineConfig cfg = EngineConfig::paper_default(false);
+  EXPECT_EQ(cfg.plan_cache_capacity, 16u);
+  cfg.plan_cache_capacity = 0;
+  EXPECT_THROW(Engine{cfg}, std::invalid_argument);
+}
+
+TEST(Serving, PlanPrecomputesAggregationHints) {
+  Fixture f(GnnKind::kGcn);
+  EngineConfig cfg = EngineConfig::paper_default(false);
+  Engine engine(cfg);
+  CompiledModel compiled = engine.compile(f.model, f.weights);
+  GraphPlanPtr plan = compiled.plan(f.data.graph);
+
+  // α₀ = degree for every vertex, and a capacity per aggregation width
+  // (hidden and output widths here) matching the engine's own derivation.
+  ASSERT_TRUE(plan->has_initial_alpha());
+  for (VertexId v = 0; v < f.data.graph.vertex_count(); ++v) {
+    EXPECT_EQ(plan->initial_alpha()[v], f.data.graph.degree(v));
+  }
+  for (std::uint32_t l = 0; l < f.model.num_layers; ++l) {
+    const std::size_t width = f.model.layer_output_dim(l);
+    EXPECT_EQ(plan->cache_capacity_for_width(width),
+              AggregationEngine::cache_capacity_for(cfg, f.data.graph, width,
+                                                    AggKind::kGcnNormalizedSum));
+  }
+  EXPECT_EQ(plan->cache_capacity_for_width(12345), 0u);  // unknown width: no hint
+}
+
+TEST(Serving, RunCostMatchesRunReportWithoutTheOutput) {
+  Fixture f(GnnKind::kGcn);
+  Engine engine(EngineConfig::paper_default(false));
+  CompiledModel compiled = engine.compile(f.model, f.weights);
+  GraphPlanPtr plan = compiled.plan(f.data.graph);
+  RunRequest request{plan, &f.data.features};
+
+  InferenceResult full = compiled.run(request);
+  InferenceReport cost = compiled.run_cost(request);
+  EXPECT_EQ(cost.total_cycles, full.report.total_cycles);
+  EXPECT_EQ(cost.total_macs, full.report.total_macs);
+  EXPECT_EQ(cost.dram.bytes_read, full.report.dram.bytes_read);
+  EXPECT_EQ(cost.dram.bytes_written, full.report.dram.bytes_written);
+}
+
 TEST(Serving, RunBatchMatchesSequentialRuns) {
   Fixture f(GnnKind::kGcn);
   EngineConfig cfg = EngineConfig::paper_default(false);
