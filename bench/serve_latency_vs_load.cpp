@@ -1,19 +1,27 @@
 // Latency vs offered load: the queueing knee of the serving cluster.
 //
-// Sweeps an open-loop Poisson trace over offered load ρ (arrival rate as a
-// fraction of the cluster's aggregate service rate) for 1-die and 4-die
-// clusters, and reports p50/p95/p99 latency, mean queue depth, utilization,
-// and throughput at each point. Below the knee (ρ ≪ 1) latency is flat at
-// the service time; approaching ρ = 1 queueing delay takes over and the
-// tail explodes — the behavior Table IV's single-run throughput cannot
-// show, and the reason multi-die clusters improve p99 and not just
-// makespan.
+// Sweep 1 (single graph): an open-loop Poisson trace over offered load ρ
+// (arrival rate as a fraction of the cluster's aggregate service rate) for
+// 1-die and 4-die clusters, reporting p50/p95/p99 latency, mean queue
+// depth, utilization, and throughput at each point. Below the knee (ρ ≪ 1)
+// latency is flat at the service time; approaching ρ = 1 queueing delay
+// takes over and the tail explodes — the behavior Table IV's single-run
+// throughput cannot show, and the reason multi-die clusters improve p99
+// and not just makespan.
 //
-// Emits the whole sweep as one JSON object (stdout by default, --json=PATH
+// Sweep 2 (warmth): a skewed two-graph Poisson mix on a 4-die cluster,
+// replayed per scheduler with the cache-warmth model off and on (per-die
+// residency budget = one plan's working set, so competing plans displace
+// each other). Emits warm-vs-cold knee curves — p99 plus warm-hit-rate,
+// plan swaps, and the warm/cold latency split — which is where
+// graph-affinity and warmth-aware routing separate from FIFO.
+//
+// Emits the whole run as one JSON object (stdout by default, --json=PATH
 // for a file) and exits non-zero if the emitted JSON is malformed, so CI
 // can smoke this binary directly:
 //
 //   $ ./bench_serve_latency_vs_load --requests=64 --scale=0.05
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -125,7 +133,75 @@ int main(int argc, char** argv) {
     json << "]}";
     std::printf("\n");
   }
-  json << "]}";
+  json << "]";
+
+  // --- Sweep 2: warm vs cold knee curves per scheduler. -------------------
+  // A second tenant (synthetic Citeseer at the same feature width) makes a
+  // 4:1 skewed mix; the warmth budget holds exactly one plan's working set.
+  bench::Workload w2 = bench::make_workload(spec_of(DatasetId::kCiteseer), opt.scale,
+                                            GnnKind::kGcn, opt.seed + 1);
+  DatasetSpec w2_spec = w2.data.spec;
+  w2_spec.feature_length = w.data.spec.feature_length;  // one model, both graphs
+  SparseMatrix features_b = generate_features(w2_spec, opt.seed + 2);
+
+  const std::size_t warm_dies = 4;
+  std::printf("=== warmth sweep: two graphs (4:1), %zu dies ===\n", warm_dies);
+  // The one-plan budget comes from the sweep-1 model's (cold) plans —
+  // working sets are warmth-independent, so no throwaway compile needed.
+  const Bytes one_plan_budget = std::max(plan->warm_working_set_bytes(),
+                                         compiled.plan(w2.data.graph)->warm_working_set_bytes());
+  json << ",\"warmth\":{\"dies\":" << warm_dies
+       << ",\"die_budget_bytes\":" << one_plan_budget << ",\"curves\":[";
+  bool first_curve = true;
+  for (bool warmth_on : {false, true}) {
+    EngineConfig config = EngineConfig::paper_default(false);
+    config.warmth.enabled = warmth_on;
+    config.warmth.die_budget_bytes = one_plan_budget;
+    Engine warm_engine(config);
+    CompiledModel warm_compiled = warm_engine.compile(w.model, w.weights);
+    GraphPlanPtr plan_a = warm_compiled.plan(w.data.graph);
+    GraphPlanPtr plan_b = warm_compiled.plan(w2.data.graph);
+    const Cycles cost_a = warm_compiled.run_cost({plan_a, &w.data.features}).total_cycles;
+    const Cycles cost_b = warm_compiled.run_cost({plan_b, &features_b}).total_cycles;
+    const double mean_service = (4.0 * cost_a + cost_b) / 5.0;
+    serve::Cluster warm_cluster(warm_compiled, warm_dies);
+
+    for (serve::SchedulerKind kind : serve::all_scheduler_kinds()) {
+      auto warm_sched = serve::Scheduler::make(kind);
+      std::printf("--- %s, warmth %s ---\n", warm_sched->name(), warmth_on ? "on" : "off");
+      std::printf("%8s %14s %14s %10s %8s %12s %12s\n", "rho", "p50 (cyc)", "p99 (cyc)",
+                  "warm-hit", "swaps", "warm p99", "cold p99");
+      json << (first_curve ? "" : ",") << "{\"scheduler\":\"" << warm_sched->name()
+           << "\",\"warmth\":" << (warmth_on ? "true" : "false") << ",\"points\":[";
+      first_curve = false;
+      for (std::size_t ri = 0; ri < rhos.size(); ++ri) {
+        const double rho = rhos[ri];
+        const double mean_gap = mean_service / (rho * static_cast<double>(warm_dies));
+        serve::RequestTrace trace = serve::RequestTrace::poisson(
+            {{plan_a, &w.data.features, 4.0}, {plan_b, &features_b, 1.0}}, opt.requests,
+            mean_gap, opt.seed);
+        const ServingReport rep = warm_cluster.simulate(trace, *warm_sched);
+        std::printf("%8.2f %14llu %14llu %9.2f%% %8llu %12llu %12llu\n", rho,
+                    (unsigned long long)rep.p50_latency_cycles(),
+                    (unsigned long long)rep.p99_latency_cycles(),
+                    100.0 * rep.warm_hit_rate(),
+                    (unsigned long long)rep.total_plan_swaps(),
+                    (unsigned long long)rep.warm_latency_percentile(99.0),
+                    (unsigned long long)rep.cold_latency_percentile(99.0));
+        json << (ri == 0 ? "" : ",") << "{\"rho\":" << rho
+             << ",\"p50_latency_cycles\":" << rep.p50_latency_cycles()
+             << ",\"p99_latency_cycles\":" << rep.p99_latency_cycles()
+             << ",\"warm_hit_rate\":" << rep.warm_hit_rate()
+             << ",\"plan_swaps\":" << rep.total_plan_swaps()
+             << ",\"warm_p99_latency_cycles\":" << rep.warm_latency_percentile(99.0)
+             << ",\"cold_p99_latency_cycles\":" << rep.cold_latency_percentile(99.0)
+             << ",\"mean_queue_depth\":" << rep.mean_queue_depth() << "}";
+      }
+      json << "]}";
+      std::printf("\n");
+    }
+  }
+  json << "]}}";
 
   const std::string out = json.str();
   if (!bench::json_braces_balanced(out) || out.front() != '{' || out.back() != '}') {

@@ -6,6 +6,7 @@
 // latency, queueing delay, and per-die utilization in cluster virtual time.
 //
 //   $ ./example_serving_cluster
+#include <algorithm>
 #include <cstdio>
 
 #include "serve/cluster.hpp"
@@ -69,9 +70,45 @@ int main() {
     }
   }
 
+  // 5. The same cluster with the cache-warmth model on: dies retain the
+  //    working set of recently serviced plans (budget: one plan), so
+  //    locality-aware routing now has a measurable payoff — warm requests
+  //    skip the DRAM refill of the cached working set, plan swaps cost.
+  EngineConfig warm_config = EngineConfig::paper_default(false);
+  warm_config.warmth.enabled = true;
+  // Working sets are warmth-independent, so the cold plans already know
+  // them — derive the one-plan budget without a throwaway compile.
+  warm_config.warmth.die_budget_bytes =
+      std::max(cora_plan->warm_working_set_bytes(), cite_plan->warm_working_set_bytes());
+  Engine warm_engine(warm_config);
+  CompiledModel warm_compiled = warm_engine.compile(model, weights);
+  GraphPlanPtr warm_cora = warm_compiled.plan(cora.graph);
+  GraphPlanPtr warm_cite = warm_compiled.plan(cite.graph);
+  serve::RequestTrace warm_trace = serve::RequestTrace::bursty(
+      {{warm_cora, &cora.features, 2.0}, {warm_cite, &cite_features, 1.0}},
+      /*count=*/300, calm_gap, calm_gap / 4.0,
+      /*mean_calm_run=*/40.0, /*mean_burst_run=*/15.0, /*seed=*/11);
+
+  std::printf("\nwith cache warmth on (4 dies, budget = one plan's working set):\n");
+  std::printf("%-16s %12s %12s %10s %8s\n", "scheduler", "p50 (us)", "p99 (us)",
+              "warm-hit", "swaps");
+  serve::Cluster warm_cluster(warm_compiled, 4);
+  for (serve::SchedulerKind kind : serve::all_scheduler_kinds()) {
+    auto scheduler = serve::Scheduler::make(kind);
+    ServingReport rep = warm_cluster.simulate(warm_trace, *scheduler);
+    const double us = 1e6 / rep.clock_hz;
+    std::printf("%-16s %12.1f %12.1f %9.1f%% %8llu\n", rep.scheduler.c_str(),
+                rep.p50_latency_cycles() * us, rep.p99_latency_cycles() * us,
+                100.0 * rep.warm_hit_rate(),
+                (unsigned long long)rep.total_plan_swaps());
+  }
+
   std::printf(
       "\nOne die saturates during bursts and the tail explodes; four dies ride\n"
       "them out. Graph-affinity consolidates each tenant on dies whose plan\n"
-      "state matches — locality bought with some of shortest-queue's balance.\n");
+      "state matches — locality bought with some of shortest-queue's balance.\n"
+      "With warmth modeled, that locality shows up in the metrics: affinity\n"
+      "and warmth-aware routing keep dies warm (high hit rate, few swaps)\n"
+      "where FIFO and shortest-queue keep paying cold-start refills.\n");
   return 0;
 }

@@ -146,22 +146,38 @@ AggregationEngine::AggregationEngine(const EngineConfig& config, HbmModel* hbm,
   config_.validate();
 }
 
-std::uint64_t AggregationEngine::cache_capacity_for(const EngineConfig& config, const Csr& g,
-                                                    std::size_t feature_width, AggKind kind) {
+namespace {
+
+/// Per-vertex input-buffer footprint: ηw + α (+ e1,e2 for GAT) + offset
+/// metadata + the connectivity of the *subgraph* (§III stores the edges
+/// among cached vertices, not every vertex's full neighbor list — full
+/// lists stream through during edge discovery). The subgraph share is a
+/// small capped slice of the mean degree.
+double per_vertex_footprint(const EngineConfig& config, const Csr& g,
+                            std::size_t feature_width, AggKind kind) {
   const double avg_deg = g.vertex_count() == 0
                              ? 0.0
                              : static_cast<double>(g.edge_count()) / g.vertex_count();
-  // Per-vertex input-buffer footprint: ηw + α (+ e1,e2 for GAT) + offset
-  // metadata + the connectivity of the *subgraph* (§III stores the edges
-  // among cached vertices, not every vertex's full neighbor list — full
-  // lists stream through during edge discovery). The subgraph share is a
-  // small capped slice of the mean degree.
-  const double per_vertex = static_cast<double>(feature_width) * config.feature_bytes + 4.0 +
-                            (kind == AggKind::kGatSoftmax ? 8.0 : 0.0) + 16.0 +
-                            std::min(avg_deg, 16.0) * 4.0;
+  return static_cast<double>(feature_width) * config.feature_bytes + 4.0 +
+         (kind == AggKind::kGatSoftmax ? 8.0 : 0.0) + 16.0 +
+         std::min(avg_deg, 16.0) * 4.0;
+}
+
+}  // namespace
+
+std::uint64_t AggregationEngine::cache_capacity_for(const EngineConfig& config, const Csr& g,
+                                                    std::size_t feature_width, AggKind kind) {
+  const double per_vertex = per_vertex_footprint(config, g, feature_width, kind);
   auto n = static_cast<std::uint64_t>(static_cast<double>(config.buffers.input) / per_vertex);
   n = std::clamp<std::uint64_t>(n, 8, std::max<std::uint64_t>(8, g.vertex_count()));
   return n;
+}
+
+Bytes AggregationEngine::working_set_bytes_for(const EngineConfig& config, const Csr& g,
+                                               std::size_t feature_width, AggKind kind) {
+  const std::uint64_t n = cache_capacity_for(config, g, feature_width, kind);
+  const double per_vertex = per_vertex_footprint(config, g, feature_width, kind);
+  return static_cast<Bytes>(std::ceil(static_cast<double>(n) * per_vertex));
 }
 
 std::uint64_t AggregationEngine::cache_capacity(const AggregationTask& task) const {
@@ -415,6 +431,7 @@ Matrix AggregationEngine::run_subgraph(const AggregationTask& task, const CacheP
     }
     rep.dram_accesses += 2;
     rep.dram_bytes += prop_bytes + 8 + static_cast<Bytes>(g.degree(v)) * 4;
+    rep.input_fetch_bytes += prop_bytes + 8 + static_cast<Bytes>(g.degree(v)) * 4;
     if (partial_held_on_chip[v]) {
       // Its partial was retained in the output buffer; the slot frees now
       // that the vertex is cached again (cached partials live in the n
@@ -426,6 +443,7 @@ Matrix AggregationEngine::run_subgraph(const AggregationTask& task, const CacheP
       if (hbm_ != nullptr) hbm_->access(out_addr(v), partial_bytes, false, MemClient::kOutput);
       rep.dram_accesses += 1;
       rep.dram_bytes += partial_bytes;
+      rep.input_fetch_bytes += partial_bytes;
       spilled[v] = false;
     }
     if (ever_evicted[v]) ++rep.refetches;
@@ -716,6 +734,7 @@ Matrix AggregationEngine::run_subgraph(const AggregationTask& task, const CacheP
     auto sweep_fetch = [&](VertexId v) {
       if (hbm_ != nullptr) hbm_->access(prop_addr(v), prop_bytes, false, MemClient::kInput);
       rep.dram_bytes += prop_bytes;
+      rep.input_fetch_bytes += prop_bytes;
       ++rep.dram_accesses;
       ++rep.random_dram_accesses;
     };
@@ -846,6 +865,7 @@ Matrix AggregationEngine::run_on_demand(const AggregationTask& task, Aggregation
     }
     rep.dram_accesses += 2;
     rep.dram_bytes += prop_bytes + 8 + static_cast<Bytes>(g.degree(v)) * 4;
+    rep.input_fetch_bytes += prop_bytes + 8 + static_cast<Bytes>(g.degree(v)) * 4;
     if (random) ++rep.random_dram_accesses;
   };
 

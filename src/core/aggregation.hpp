@@ -103,6 +103,11 @@ struct AggregationReport {
   std::uint64_t dram_accesses = 0;
   std::uint64_t random_dram_accesses = 0;  ///< on-demand misses (baseline mode)
   Bytes dram_bytes = 0;
+  /// DRAM bytes *read* to fill the input working set (properties, adjacency
+  /// slices, spilled-partial reloads); the rest of dram_bytes is write-back
+  /// traffic. This is the component a warm residency skips (see
+  /// apply_warmth_discount in core/report.hpp).
+  Bytes input_fetch_bytes = 0;
   std::uint64_t evictions = 0;
   std::uint64_t refetches = 0;             ///< vertices fetched after round 1
   std::uint64_t partial_spills = 0;        ///< incomplete partials pushed to DRAM
@@ -137,6 +142,14 @@ class AggregationEngine {
   /// skip re-deriving it).
   static std::uint64_t cache_capacity_for(const EngineConfig& config, const Csr& g,
                                           std::size_t feature_width, AggKind kind);
+
+  /// On-chip bytes the cached feature working set occupies for aggregation
+  /// over `g` at one feature width: cache capacity (vertices) × the same
+  /// per-vertex footprint cache_capacity_for divides by. This is the unit
+  /// of the serving layer's per-die cache-residency (warmth) model — a plan
+  /// is "warm" on a die when these bytes are already resident.
+  static Bytes working_set_bytes_for(const EngineConfig& config, const Csr& g,
+                                     std::size_t feature_width, AggKind kind);
 
   /// Initial α values for aggregation over `g`: the degree, plus the
   /// reverse in-degree for directed tasks (reverse != nullptr). The one

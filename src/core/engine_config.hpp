@@ -64,6 +64,25 @@ struct CacheConfig {
   bool on_demand_baseline = false;
 };
 
+/// Scheduler-visible cache warmth for the serving cluster (serve::Cluster).
+/// Models what stays resident on a die between requests: each die retains
+/// the cached feature working sets of recently serviced plans (LRU within a
+/// byte budget), and a request whose plan is resident skips that share of
+/// the aggregation stages' exposed DRAM-fetch time (see
+/// apply_warmth_discount in core/report.hpp). Default-off: with
+/// enabled=false every request is charged the cold cost and the simulator
+/// is bit-exact with the warmth-unaware one.
+struct WarmthConfig {
+  bool enabled = false;
+  /// Modeled per-die residency budget for warm working sets. 0 → the input
+  /// buffer capacity (the hardware that actually holds the cached subgraph).
+  Bytes die_budget_bytes = 0;
+  /// Flat cycles charged when servicing a plan whose working set is not
+  /// resident displaces another plan's resident state (a plan swap). Never
+  /// charged on warm hits or on a die with spare residency budget.
+  Cycles plan_swap_penalty_cycles = 1000;
+};
+
 struct EngineConfig {
   ArrayConfig array = ArrayConfig::design_e();
   BufferSizes buffers = BufferSizes::for_dataset(true);
@@ -87,6 +106,14 @@ struct EngineConfig {
   /// this; re-planning an evicted graph reproduces the identical plan.
   /// Must be >= 1.
   std::uint32_t plan_cache_capacity = 16;
+  /// Serving-layer knob: the per-die cache-residency (warmth) model.
+  WarmthConfig warmth;
+
+  /// The per-die residency budget the warmth model actually uses:
+  /// warmth.die_budget_bytes, defaulting to the input buffer capacity.
+  Bytes warmth_die_budget() const {
+    return warmth.die_budget_bytes != 0 ? warmth.die_budget_bytes : buffers.input;
+  }
 
   /// Paper configuration for a dataset size (§VIII-A input buffer rule).
   static EngineConfig paper_default(bool large_dataset);

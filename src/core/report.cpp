@@ -56,4 +56,84 @@ double ServingReport::throughput_per_second() const {
   return static_cast<double>(requests.size()) / makespan_seconds();
 }
 
+double ServingReport::warm_hit_rate() const {
+  if (requests.empty()) return 0.0;
+  std::uint64_t hits = 0;
+  for (const RequestRecord& r : requests) hits += r.warm_hit() ? 1 : 0;
+  return static_cast<double>(hits) / static_cast<double>(requests.size());
+}
+
+double ServingReport::die_warm_hit_rate(std::size_t die) const {
+  GNNIE_REQUIRE(die < die_warm_hits.size() && die < die_requests.size(),
+                "die index out of range");
+  if (die_requests[die] == 0) return 0.0;
+  return static_cast<double>(die_warm_hits[die]) / static_cast<double>(die_requests[die]);
+}
+
+std::uint64_t ServingReport::total_plan_swaps() const {
+  std::uint64_t swaps = 0;
+  for (std::uint64_t s : die_plan_swaps) swaps += s;
+  return swaps;
+}
+
+namespace {
+
+Cycles class_latency_percentile(const std::vector<RequestRecord>& requests, bool warm,
+                                double pct) {
+  std::vector<Cycles> latencies;
+  for (const RequestRecord& r : requests) {
+    if (r.warm_hit() == warm) latencies.push_back(r.latency_cycles());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  return percentile_of_sorted(latencies, pct);
+}
+
+}  // namespace
+
+Cycles ServingReport::warm_latency_percentile(double pct) const {
+  return class_latency_percentile(requests, /*warm=*/true, pct);
+}
+
+Cycles ServingReport::cold_latency_percentile(double pct) const {
+  return class_latency_percentile(requests, /*warm=*/false, pct);
+}
+
+// ---------------------------------------------------------------------------
+// Warm-run cycle model
+
+Cycles warmth_discount_cycles(const AggregationReport& agg, double warm_fraction) {
+  GNNIE_REQUIRE(warm_fraction >= 0.0 && warm_fraction <= 1.0,
+                "warm fraction must be in [0, 1]");
+  if (warm_fraction <= 0.0 || agg.dram_bytes == 0) return 0;
+  // Exposed memory time: total = Σ_iters max(compute, memory) ≥ Σ compute,
+  // and ≤ compute + memory, so this is in [0, memory_cycles].
+  const Cycles exposed =
+      agg.total_cycles > agg.compute_cycles ? agg.total_cycles - agg.compute_cycles : 0;
+  const double fetch_share =
+      std::min(1.0, static_cast<double>(agg.input_fetch_bytes) /
+                        static_cast<double>(agg.dram_bytes));
+  return static_cast<Cycles>(warm_fraction * static_cast<double>(exposed) * fetch_share);
+}
+
+Cycles warm_total_cycles(const InferenceReport& rep, double warm_fraction) {
+  Cycles total = rep.total_cycles;
+  for (const LayerReport& lr : rep.layers) {
+    total -= warmth_discount_cycles(lr.aggregation, warm_fraction);
+  }
+  return total;
+}
+
+void apply_warmth_discount(InferenceReport& rep, double warm_fraction) {
+  for (LayerReport& lr : rep.layers) {
+    const Cycles d = warmth_discount_cycles(lr.aggregation, warm_fraction);
+    GNNIE_ASSERT(d <= lr.aggregation.memory_cycles && d <= lr.aggregation.total_cycles &&
+                     d <= lr.total_cycles && d <= rep.total_cycles,
+                 "warmth discount exceeds the cycles it discounts");
+    lr.aggregation.total_cycles -= d;
+    lr.aggregation.memory_cycles -= d;
+    lr.total_cycles -= d;
+    rep.total_cycles -= d;
+  }
+}
+
 }  // namespace gnnie

@@ -78,11 +78,19 @@ struct RequestRecord {
   Cycles arrival = 0;
   Cycles start = 0;
   Cycles finish = 0;
+  /// Share of the plan's cached working set resident on the die at service
+  /// start (0 when the warmth model is disabled — every run is cold).
+  double warm_fraction = 0.0;
+  /// Servicing this request displaced another plan's resident state (the
+  /// cluster charged the plan-swap penalty).
+  bool plan_swap = false;
 
   Cycles service_cycles() const { return finish - start; }
   Cycles queue_cycles() const { return start - arrival; }
   /// End-to-end latency: queueing delay + service.
   Cycles latency_cycles() const { return finish - arrival; }
+  /// Any of the plan's working set was resident at service start.
+  bool warm_hit() const { return warm_fraction > 0.0; }
 };
 
 /// Aggregate of one serve::Cluster::simulate() call: per-request records in
@@ -97,6 +105,13 @@ struct ServingReport {
   double clock_hz = 0.0;
   Cycles makespan = 0;                  ///< last finish time (0: empty trace)
   std::vector<Cycles> die_busy_cycles;  ///< summed service time, per die
+  /// Warmth model (EngineConfig::warmth) state of the run that produced
+  /// this report. When disabled the per-die warmth counters are all zero
+  /// and every request is cold.
+  bool warmth_enabled = false;
+  std::vector<std::uint64_t> die_requests;    ///< requests serviced, per die
+  std::vector<std::uint64_t> die_warm_hits;   ///< warm_hit() services, per die
+  std::vector<std::uint64_t> die_plan_swaps;  ///< swap-penalized services, per die
 
   /// Nearest-rank latency percentile over all requests; pct in (0, 100].
   /// Sorts per call — batch callers should sort once (sorted_latencies)
@@ -119,10 +134,47 @@ struct ServingReport {
   }
   /// Served inferences per second of cluster virtual time.
   double throughput_per_second() const;
+
+  /// Fraction of all requests serviced with any of their plan's working set
+  /// resident (0 with the warmth model disabled or an empty trace).
+  double warm_hit_rate() const;
+  /// The same rate for one die (0 if the die serviced nothing).
+  double die_warm_hit_rate(std::size_t die) const;
+  /// Total plan swaps charged across all dies.
+  std::uint64_t total_plan_swaps() const;
+  /// Nearest-rank latency percentile over warm-hit (resp. cold) requests
+  /// only; 0 when no request falls in the class.
+  Cycles warm_latency_percentile(double pct) const;
+  Cycles cold_latency_percentile(double pct) const;
 };
 
 /// Nearest-rank percentile over an ascending-sorted sample; pct in (0, 100].
 /// Returns 0 for an empty sample.
 Cycles percentile_of_sorted(const std::vector<Cycles>& sorted, double pct);
+
+// ---------------------------------------------------------------------------
+// Warm-run cycle model (EngineConfig::warmth).
+//
+// A run on a die where fraction `warm_fraction` of the plan's cached
+// working set is already resident skips that share of each aggregation
+// stage's *exposed* DRAM-fetch time: the memory cycles not hidden behind
+// compute (total − compute), scaled by the read share of the stage's DRAM
+// traffic (input_fetch_bytes / dram_bytes — write-backs still happen warm).
+// The discount is 0 at warm_fraction 0 (cold runs are bit-exact with the
+// warmth-unaware model), monotone in warm_fraction, and can never push a
+// stage below its compute time — warm cost ≤ cold cost always.
+
+/// Cycles one aggregation stage saves at the given warm fraction.
+Cycles warmth_discount_cycles(const AggregationReport& agg, double warm_fraction);
+
+/// Total cycles of the run described by `rep` at the given warm fraction
+/// (rep itself stays cold/unmodified).
+Cycles warm_total_cycles(const InferenceReport& rep, double warm_fraction);
+
+/// Applies the warm discount in place, keeping the report self-consistent:
+/// each layer's aggregation total/memory cycles, the layer total, and the
+/// run total all shrink by that layer's discount. warm_fraction must be in
+/// [0, 1]; 0 leaves the report bit-identical.
+void apply_warmth_discount(InferenceReport& rep, double warm_fraction);
 
 }  // namespace gnnie

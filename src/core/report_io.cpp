@@ -32,6 +32,7 @@ void write_aggregation(std::ostream& out, const AggregationReport& rep) {
       << ",\"refetches\":" << rep.refetches << ",\"partial_spills\":" << rep.partial_spills
       << ",\"gamma_escalations\":" << rep.gamma_escalations
       << ",\"livelock_sweep\":" << (rep.livelock_sweep ? "true" : "false")
+      << ",\"input_fetch_bytes\":" << rep.input_fetch_bytes
       << ",\"cache_capacity_vertices\":" << rep.cache_capacity_vertices << "}";
 }
 
@@ -91,12 +92,38 @@ void write_serving_report_json(std::ostream& out, const ServingReport& report) {
   for (std::size_t d = 0; d < report.die_busy_cycles.size(); ++d) {
     out << (d == 0 ? "" : ",") << report.die_utilization(d);
   }
-  out << "],\"records\":[";
+  out << "],\"warmth_enabled\":" << (report.warmth_enabled ? "true" : "false");
+  if (report.warmth_enabled) {
+    // Warmth rollup: hit rates, swap counts, and the warm/cold latency
+    // split. Emitted only when the model ran, so warmth-disabled reports
+    // keep the pre-warmth JSON shape.
+    out << ",\"warm_hit_rate\":" << report.warm_hit_rate()
+        << ",\"plan_swaps\":" << report.total_plan_swaps()
+        << ",\"warm_p50_latency_cycles\":" << report.warm_latency_percentile(50.0)
+        << ",\"warm_p99_latency_cycles\":" << report.warm_latency_percentile(99.0)
+        << ",\"cold_p50_latency_cycles\":" << report.cold_latency_percentile(50.0)
+        << ",\"cold_p99_latency_cycles\":" << report.cold_latency_percentile(99.0)
+        << ",\"die_warm_hit_rate\":[";
+    for (std::size_t d = 0; d < report.die_warm_hits.size(); ++d) {
+      out << (d == 0 ? "" : ",") << report.die_warm_hit_rate(d);
+    }
+    out << "],\"die_plan_swaps\":[";
+    for (std::size_t d = 0; d < report.die_plan_swaps.size(); ++d) {
+      out << (d == 0 ? "" : ",") << report.die_plan_swaps[d];
+    }
+    out << "]";
+  }
+  out << ",\"records\":[";
   for (std::size_t i = 0; i < report.requests.size(); ++i) {
     const RequestRecord& r = report.requests[i];
     out << (i == 0 ? "" : ",") << "{\"stream\":" << r.stream << ",\"die\":" << r.die
         << ",\"arrival\":" << r.arrival << ",\"start\":" << r.start
-        << ",\"finish\":" << r.finish << "}";
+        << ",\"finish\":" << r.finish;
+    if (report.warmth_enabled) {
+      out << ",\"warm_fraction\":" << r.warm_fraction
+          << ",\"plan_swap\":" << (r.plan_swap ? "true" : "false");
+    }
+    out << "}";
   }
   out << "]}";
 }

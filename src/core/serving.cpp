@@ -27,6 +27,8 @@ GraphPlan::SampledBinding::SampledBinding(Csr g, const CachePolicy& pol,
   capacity_width = feature_width;
   capacity = AggregationEngine::cache_capacity_for(config, graph, feature_width,
                                                    AggKind::kMax);
+  working_set_bytes =
+      AggregationEngine::working_set_bytes_for(config, graph, feature_width, AggKind::kMax);
 }
 
 // ---------------------------------------------------------------------------
@@ -237,6 +239,8 @@ GraphPlanPtr CompiledModel::plan(const Csr& g, std::vector<Csr> sampled_per_laye
     for (std::uint32_t l = 0; l < sampled_per_layer.size(); ++l) {
       plan->sampled_.emplace_back(std::move(sampled_per_layer[l]), *s.policy, s.config,
                                   s.model.layer_output_dim(l));
+      plan->warm_working_set_bytes_ =
+          std::max(plan->warm_working_set_bytes_, plan->sampled_.back().working_set_bytes);
     }
   } else {
     if (s.policy->uses_subgraph_machinery()) {
@@ -250,6 +254,9 @@ GraphPlanPtr CompiledModel::plan(const Csr& g, std::vector<Csr> sampled_per_laye
     for (std::size_t width : aggregation_widths(s.model)) {
       plan->agg_capacities_.emplace_back(
           width, AggregationEngine::cache_capacity_for(s.config, g, width, kind));
+      plan->warm_working_set_bytes_ =
+          std::max(plan->warm_working_set_bytes_,
+                   AggregationEngine::working_set_bytes_for(s.config, g, width, kind));
     }
   }
 
@@ -523,6 +530,15 @@ InferenceReport CompiledModel::run_cost(const RunRequest& request) const {
   // The full run is required — cycle costs are value-dependent (zero-skip,
   // sparsity) — but the output matrix dies here instead of being returned.
   return run(request).report;
+}
+
+InferenceReport CompiledModel::run_cost(const RunRequest& request,
+                                        double warm_fraction) const {
+  GNNIE_REQUIRE(warm_fraction >= 0.0 && warm_fraction <= 1.0,
+                "warm fraction must be in [0, 1]");
+  InferenceReport rep = run(request).report;
+  apply_warmth_discount(rep, warm_fraction);
+  return rep;
 }
 
 BatchResult CompiledModel::run_batch(std::span<const RunRequest> requests) const {

@@ -86,6 +86,12 @@ class GraphPlan {
     return 0;
   }
 
+  /// On-chip bytes of the plan's cached feature working set (the largest
+  /// aggregation working set across the model's feature widths / sampled
+  /// layers). The serving cluster's per-die warmth model tracks residency
+  /// in this unit (serve/warmth.hpp).
+  Bytes warm_working_set_bytes() const { return warm_working_set_bytes_; }
+
  private:
   struct SampledBinding {
     Csr graph;
@@ -100,6 +106,7 @@ class GraphPlan {
     std::vector<std::uint32_t> initial_alpha;
     std::size_t capacity_width = 0;
     std::uint64_t capacity = 0;
+    Bytes working_set_bytes = 0;  ///< on-chip bytes of this layer's working set
 
     SampledBinding(Csr g, const CachePolicy& pol, const EngineConfig& config,
                    std::size_t feature_width);
@@ -134,6 +141,7 @@ class GraphPlan {
   /// aggregation stages run at. Tiny (a handful of entries), so a flat
   /// vector beats a map.
   std::vector<std::pair<std::size_t, std::uint64_t>> agg_capacities_;
+  Bytes warm_working_set_bytes_ = 0;
 };
 
 using GraphPlanPtr = std::shared_ptr<const GraphPlan>;
@@ -188,6 +196,14 @@ class CompiledModel {
   /// but serving simulators that only need cycle costs avoid holding |V|×F
   /// outputs per request.) serve::Cluster services requests through this.
   InferenceReport run_cost(const RunRequest& request) const;
+
+  /// Warmth-aware run_cost: the same cold simulation with fraction
+  /// `warm_fraction` ∈ [0, 1] of the plan's cached working set already
+  /// resident on chip — that share of each aggregation stage's exposed
+  /// DRAM-fetch time is discounted (apply_warmth_discount, core/report.hpp).
+  /// warm_fraction 0 is bit-exact with run_cost(request); warm cost is
+  /// never above cold cost.
+  InferenceReport run_cost(const RunRequest& request, double warm_fraction) const;
 
   /// Services requests sequentially on the modeled accelerator and returns
   /// per-request results plus the aggregate batch report (makespan,

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/require.hpp"
+#include "serve/warmth.hpp"
 
 namespace gnnie::serve {
 
@@ -28,15 +29,32 @@ struct DieState {
   Cycles busy_until = 0;
 };
 
+/// Memoized per-(plan, features) service cost: the cold cycle count, plus —
+/// only when warmth is enabled — the full cold report (needed for
+/// partial-warmth discounts) and the fully-warm endpoint the schedulers
+/// see. The disabled path stays as lean as the warmth-unaware memo.
+struct CostEntry {
+  InferenceReport cold_report;  ///< empty when warmth is disabled
+  Cycles cold = 0;
+  Cycles warm_full = 0;  ///< cold minus the full warm discount (== cold when disabled)
+};
+
 }  // namespace
 
 ServingReport Cluster::simulate(const RequestTrace& trace,
                                 const Scheduler& scheduler) const {
+  const EngineConfig& config = model_.config();
+  const WarmthConfig& wcfg = config.warmth;
+
   ServingReport report;
   report.dies = die_count_;
   report.scheduler = scheduler.name();
-  report.clock_hz = model_.config().clock_hz;
+  report.clock_hz = config.clock_hz;
   report.die_busy_cycles.assign(die_count_, 0);
+  report.warmth_enabled = wcfg.enabled;
+  report.die_requests.assign(die_count_, 0);
+  report.die_warm_hits.assign(die_count_, 0);
+  report.die_plan_swaps.assign(die_count_, 0);
   report.requests.resize(trace.size());
 
   const std::vector<TracedRequest>& arrivals = trace.requests();
@@ -47,33 +65,75 @@ ServingReport Cluster::simulate(const RequestTrace& trace,
 
   // Service cost per distinct (plan, features) pair. Runs are stateless, so
   // the memo is exact; open-loop traces repeat stream requests constantly.
-  std::map<std::pair<const void*, const void*>, Cycles> service_memo;
-  auto service_cycles = [&](std::size_t idx) -> Cycles {
+  // Warmth only rescales the memoized cold report analytically
+  // (apply_warmth_discount), so no re-simulation happens per warm fraction.
+  std::map<std::pair<const void*, const void*>, CostEntry> service_memo;
+  auto cost_of = [&](std::size_t idx) -> const CostEntry& {
     const RunRequest& request = arrivals[idx].request;
     const auto key = std::make_pair(static_cast<const void*>(request.plan.get()),
                                     static_cast<const void*>(request.features));
     auto it = service_memo.find(key);
     if (it == service_memo.end()) {
-      it = service_memo.emplace(key, model_.run_cost(request).total_cycles).first;
+      CostEntry entry;
+      if (wcfg.enabled) {
+        entry.cold_report = model_.run_cost(request);
+        entry.cold = entry.cold_report.total_cycles;
+        entry.warm_full = warm_total_cycles(entry.cold_report, 1.0);
+      } else {
+        entry.cold = model_.run_cost(request).total_cycles;
+        entry.warm_full = entry.cold;
+      }
+      it = service_memo.emplace(key, std::move(entry)).first;
     }
     return it->second;
+  };
+  auto estimate_of = [&](std::size_t idx) -> RequestEstimate {
+    const CostEntry& cost = cost_of(idx);
+    RequestEstimate est;
+    est.fingerprint = arrivals[idx].request.plan->fingerprint();
+    est.working_set_bytes = arrivals[idx].request.plan->warm_working_set_bytes();
+    est.cold_cycles = cost.cold;
+    est.warm_cycles = wcfg.enabled ? cost.warm_full : cost.cold;
+    est.swap_penalty_cycles = wcfg.enabled ? wcfg.plan_swap_penalty_cycles : 0;
+    return est;
   };
 
   std::vector<DieState> dies(die_count_);
   std::vector<DieStatus> status(die_count_);
+  std::vector<DieWarmthModel> warmth;
+  if (wcfg.enabled) {
+    warmth.assign(die_count_, DieWarmthModel(config.warmth_die_budget()));
+    for (std::size_t d = 0; d < die_count_; ++d) status[d].warmth = &warmth[d];
+  }
   std::deque<std::size_t> deferred;  // the global arrival-order queue
+  // Routing-time service estimate of each queued request, so the die's
+  // queued-backlog estimate can be released when service starts.
+  std::vector<Cycles> routed_estimate(arrivals.size(), 0);
   std::size_t next_arrival = 0;
   std::size_t completed = 0;
 
   auto start_service = [&](std::size_t d, std::size_t idx, Cycles now) {
-    const Cycles service = service_cycles(idx);
+    const CostEntry& cost = cost_of(idx);
+    RequestRecord& rec = report.requests[idx];
+    Cycles service = cost.cold;
+    if (wcfg.enabled) {
+      const GraphPlanPtr& plan = arrivals[idx].request.plan;
+      const DieWarmthModel::Touch touch =
+          warmth[d].touch(plan->fingerprint(), plan->warm_working_set_bytes());
+      service = warm_total_cycles(cost.cold_report, touch.warm_fraction);
+      if (touch.swapped) service += wcfg.plan_swap_penalty_cycles;
+      rec.warm_fraction = touch.warm_fraction;
+      rec.plan_swap = touch.swapped;
+      report.die_warm_hits[d] += touch.warm_fraction > 0.0 ? 1 : 0;
+      report.die_plan_swaps[d] += touch.swapped ? 1 : 0;
+    }
+    ++report.die_requests[d];
     DieState& die = dies[d];
     die.busy = true;
     die.in_service = idx;
     die.busy_until = now + service;
     status[d].busy = true;
     status[d].busy_until = die.busy_until;
-    RequestRecord& rec = report.requests[idx];
     rec.die = d;
     rec.start = now;
     rec.finish = die.busy_until;
@@ -83,18 +143,24 @@ ServingReport Cluster::simulate(const RequestTrace& trace,
   // immediately if the die is idle) and the die's affinity flips to the
   // request's graph.
   auto enqueue_on_die = [&](std::size_t d, std::size_t idx, Cycles now) {
-    status[d].affinity_fingerprint = arrivals[idx].request.plan->fingerprint();
-    if (!dies[d].busy) {
-      GNNIE_ASSERT(dies[d].queue.empty(), "an idle die cannot hold a queue");
-      start_service(d, idx, now);
-    } else {
+    if (dies[d].busy) {
+      // Queued: remember the routing-time estimate in the die's visible
+      // backlog (released when service starts). Estimated before the
+      // affinity flip so it reflects the die state the scheduler saw.
+      routed_estimate[idx] = estimate_die_service(status[d], estimate_of(idx));
+      status[d].affinity_fingerprint = arrivals[idx].request.plan->fingerprint();
       dies[d].queue.push_back(idx);
       status[d].queue_depth = dies[d].queue.size();
+      status[d].queued_cycles_estimate += routed_estimate[idx];
+    } else {
+      GNNIE_ASSERT(dies[d].queue.empty(), "an idle die cannot hold a queue");
+      status[d].affinity_fingerprint = arrivals[idx].request.plan->fingerprint();
+      start_service(d, idx, now);
     }
   };
 
   auto offer = [&](std::size_t idx, Cycles now) -> bool {
-    const std::size_t d = scheduler.pick(arrivals[idx], status, now);
+    const std::size_t d = scheduler.pick(arrivals[idx], estimate_of(idx), status, now);
     if (d == Scheduler::kDefer) return false;
     GNNIE_REQUIRE(d < die_count_, "scheduler picked a die outside the cluster");
     enqueue_on_die(d, idx, now);
@@ -133,6 +199,8 @@ ServingReport Cluster::simulate(const RequestTrace& trace,
         const std::size_t idx = die.queue.front();
         die.queue.pop_front();
         status[d].queue_depth = die.queue.size();
+        status[d].queued_cycles_estimate -=
+            std::min(status[d].queued_cycles_estimate, routed_estimate[idx]);
         start_service(d, idx, now);
       }
       while (!deferred.empty() && offer(deferred.front(), now)) deferred.pop_front();

@@ -26,6 +26,17 @@
 // bit-identical run to rediscover its cycle count would dominate the
 // simulation. The memo is exact, not an approximation, because runs are
 // stateless.
+//
+// Cache warmth (EngineConfig::warmth, default off): each die carries a
+// DieWarmthModel — a bounded LRU residency set of plan working sets
+// (serve/warmth.hpp). At service start the die's model is touched with the
+// request's plan: the observed warm fraction discounts the memoized cold
+// cost (apply_warmth_discount, core/report.hpp), and displacing another
+// plan's resident state adds the plan-swap penalty. The scheduler sees the
+// residency state through DieStatus, and the report gains per-die warm-hit
+// and swap counters plus warm/cold latency breakdowns. With warmth
+// disabled every request is charged the cold cost — bit-exact with the
+// warmth-unaware simulator, including the run_batch degenerate case.
 #pragma once
 
 #include <cstdint>

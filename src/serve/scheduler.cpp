@@ -1,8 +1,34 @@
 #include "serve/scheduler.hpp"
 
+#include <limits>
+
 #include "common/require.hpp"
+#include "serve/warmth.hpp"
 
 namespace gnnie::serve {
+
+Cycles estimate_die_service(const DieStatus& die, const RequestEstimate& estimate) {
+  if (die.warmth == nullptr) return estimate.cold_cycles;  // warmth disabled
+  if (die.warmth->is_resident(estimate.fingerprint)) {
+    // Interpolate cold → fully-warm by the resident fraction: a working
+    // set larger than the die budget is truncated on load, so residency
+    // can be partial and the die is slower than its fully-warm estimate.
+    const double f =
+        die.warmth->warm_fraction(estimate.fingerprint, estimate.working_set_bytes);
+    const Cycles saving = estimate.cold_cycles - estimate.warm_cycles;
+    return estimate.cold_cycles -
+           static_cast<Cycles>(f * static_cast<double>(saving));
+  }
+  // The last plan routed here will be resident by the time the queue
+  // drains — treat it as warm-to-be.
+  if (die.affinity_fingerprint == estimate.fingerprint) return estimate.warm_cycles;
+  // Cold on this die; displacing resident state also costs the swap
+  // penalty. (A die with spare budget may not actually swap — this is a
+  // routing-time upper estimate, not the charge.)
+  return estimate.cold_cycles +
+         (die.warmth->resident_bytes() > 0 ? estimate.swap_penalty_cycles : 0);
+}
+
 namespace {
 
 /// Die with the fewest in-flight requests, lowest index on ties.
@@ -17,8 +43,8 @@ std::size_t least_loaded(std::span<const DieStatus> dies) {
 struct FifoScheduler final : Scheduler {
   SchedulerKind kind() const override { return SchedulerKind::kFifo; }
 
-  std::size_t pick(const TracedRequest&, std::span<const DieStatus> dies,
-                   Cycles) const override {
+  std::size_t pick(const TracedRequest&, const RequestEstimate&,
+                   std::span<const DieStatus> dies, Cycles) const override {
     // Global FIFO: only dispatch onto an idle die; otherwise wait in the
     // arrival-order queue. Starts therefore happen in arrival order.
     for (std::size_t d = 0; d < dies.size(); ++d) {
@@ -31,8 +57,8 @@ struct FifoScheduler final : Scheduler {
 struct ShortestQueueScheduler final : Scheduler {
   SchedulerKind kind() const override { return SchedulerKind::kShortestQueue; }
 
-  std::size_t pick(const TracedRequest&, std::span<const DieStatus> dies,
-                   Cycles) const override {
+  std::size_t pick(const TracedRequest&, const RequestEstimate&,
+                   std::span<const DieStatus> dies, Cycles) const override {
     return least_loaded(dies);
   }
 };
@@ -40,8 +66,8 @@ struct ShortestQueueScheduler final : Scheduler {
 struct GraphAffinityScheduler final : Scheduler {
   SchedulerKind kind() const override { return SchedulerKind::kGraphAffinity; }
 
-  std::size_t pick(const TracedRequest& request, std::span<const DieStatus> dies,
-                   Cycles) const override {
+  std::size_t pick(const TracedRequest& request, const RequestEstimate&,
+                   std::span<const DieStatus> dies, Cycles) const override {
     const std::uint64_t fp = request.request.plan->fingerprint();
     // 1. Least-loaded die already holding this graph's plan state.
     std::size_t best = kDefer;
@@ -60,6 +86,32 @@ struct GraphAffinityScheduler final : Scheduler {
   }
 };
 
+struct WarmthAwareScheduler final : Scheduler {
+  SchedulerKind kind() const override { return SchedulerKind::kWarmthAware; }
+
+  std::size_t pick(const TracedRequest&, const RequestEstimate& estimate,
+                   std::span<const DieStatus> dies, Cycles now) const override {
+    // Earliest predicted completion: drain what the die already owes
+    // (remaining service + routed backlog), then this request at its
+    // warm/cold estimate against the die's residency. A warm die wins
+    // until its backlog outweighs the cold penalty elsewhere — locality
+    // that yields to load, rather than affinity's locality-at-any-cost.
+    std::size_t best = 0;
+    Cycles best_finish = std::numeric_limits<Cycles>::max();
+    for (std::size_t d = 0; d < dies.size(); ++d) {
+      const Cycles drained =
+          (dies[d].busy && dies[d].busy_until > now ? dies[d].busy_until : now) +
+          dies[d].queued_cycles_estimate;
+      const Cycles finish = drained + estimate_die_service(dies[d], estimate);
+      if (finish < best_finish) {
+        best_finish = finish;
+        best = d;
+      }
+    }
+    return best;
+  }
+};
+
 }  // namespace
 
 const char* to_string(SchedulerKind kind) {
@@ -70,13 +122,16 @@ const char* to_string(SchedulerKind kind) {
       return "shortest-queue";
     case SchedulerKind::kGraphAffinity:
       return "graph-affinity";
+    case SchedulerKind::kWarmthAware:
+      return "warmth-aware";
   }
   return "?";
 }
 
 const std::vector<SchedulerKind>& all_scheduler_kinds() {
   static const std::vector<SchedulerKind> kinds = {
-      SchedulerKind::kFifo, SchedulerKind::kShortestQueue, SchedulerKind::kGraphAffinity};
+      SchedulerKind::kFifo, SchedulerKind::kShortestQueue, SchedulerKind::kGraphAffinity,
+      SchedulerKind::kWarmthAware};
   return kinds;
 }
 
@@ -88,6 +143,8 @@ std::unique_ptr<Scheduler> Scheduler::make(SchedulerKind kind) {
       return std::make_unique<ShortestQueueScheduler>();
     case SchedulerKind::kGraphAffinity:
       return std::make_unique<GraphAffinityScheduler>();
+    case SchedulerKind::kWarmthAware:
+      return std::make_unique<WarmthAwareScheduler>();
   }
   GNNIE_REQUIRE(false, "unknown scheduler kind");
   return nullptr;

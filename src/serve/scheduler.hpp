@@ -2,7 +2,7 @@
 //
 // A Scheduler decides, for each arriving (or re-offered) request, which die
 // queue it joins — or defers it to the cluster's global arrival-order queue
-// to wait for a free die. Three policies ship:
+// to wait for a free die. Four policies ship:
 //
 //   * FIFO — one global queue: a request is dispatched only when a die is
 //     idle, so service starts cluster-wide in arrival order. On one die
@@ -14,6 +14,11 @@
 //     dies' plan/cache state matches the request's graph, the DGI/DCI-style
 //     locality argument. Falls back to an untouched die, then to the least
 //     loaded one.
+//   * warmth-aware — route to the die with the earliest *predicted
+//     completion*: remaining busy time + the queued-work backlog + this
+//     request's warm/cold service estimate against the die's residency
+//     state (estimate_die_service). With the warmth model disabled it
+//     degenerates to pure predicted-completion-time load balancing.
 //
 // Schedulers are stateless (all routing state lives in the DieStatus
 // snapshots the Cluster maintains), so a (trace, scheduler kind, cluster)
@@ -30,7 +35,9 @@
 
 namespace gnnie::serve {
 
-enum class SchedulerKind { kFifo, kShortestQueue, kGraphAffinity };
+class DieWarmthModel;
+
+enum class SchedulerKind { kFifo, kShortestQueue, kGraphAffinity, kWarmthAware };
 
 const char* to_string(SchedulerKind kind);
 const std::vector<SchedulerKind>& all_scheduler_kinds();
@@ -44,9 +51,34 @@ struct DieStatus {
   /// — the graph whose plan/cache state the die will hold once its queue
   /// drains. Graph-affinity routes on this.
   std::uint64_t affinity_fingerprint = 0;
+  /// Summed service estimates (made at routing time) of the requests
+  /// waiting in this die's queue — the scheduler-visible backlog.
+  Cycles queued_cycles_estimate = 0;
+  /// The die's cache-residency model, null when warmth is disabled
+  /// (EngineConfig::warmth). Read-only for schedulers.
+  const DieWarmthModel* warmth = nullptr;
 
   std::size_t in_flight() const { return queue_depth + (busy ? 1 : 0); }
 };
+
+/// Cluster-computed service-cost estimate handed to pick() alongside each
+/// request: the cold cost, the fully-warm cost, and the plan-swap penalty.
+/// With the warmth model disabled, warm == cold and the penalty is 0.
+struct RequestEstimate {
+  std::uint64_t fingerprint = 0;
+  Bytes working_set_bytes = 0;
+  Cycles cold_cycles = 0;
+  Cycles warm_cycles = 0;
+  Cycles swap_penalty_cycles = 0;
+};
+
+/// Routing-time service estimate of a request on one die: the warm cost if
+/// the die's residency (or its last routed plan — it will be resident by
+/// the time the queue drains) matches, else the cold cost plus the swap
+/// penalty when the die holds some other plan's state. The cluster uses the
+/// same estimate to maintain DieStatus::queued_cycles_estimate, so the
+/// warmth-aware scheduler's predicted completions are self-consistent.
+Cycles estimate_die_service(const DieStatus& die, const RequestEstimate& estimate);
 
 class Scheduler {
  public:
@@ -60,10 +92,10 @@ class Scheduler {
   static constexpr std::size_t kDefer = static_cast<std::size_t>(-1);
 
   /// Dispatch decision for one request: a die index to enqueue it on, or
-  /// kDefer. Must be deterministic in (request, dies, now) — ties broken by
-  /// die index — so simulations are reproducible.
-  virtual std::size_t pick(const TracedRequest& request, std::span<const DieStatus> dies,
-                           Cycles now) const = 0;
+  /// kDefer. Must be deterministic in (request, estimate, dies, now) — ties
+  /// broken by die index — so simulations are reproducible.
+  virtual std::size_t pick(const TracedRequest& request, const RequestEstimate& estimate,
+                           std::span<const DieStatus> dies, Cycles now) const = 0;
 
   static std::unique_ptr<Scheduler> make(SchedulerKind kind);
 };

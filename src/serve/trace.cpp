@@ -43,6 +43,12 @@ RequestTrace::RequestTrace(std::vector<TraceStream> streams)
   validate_streams(streams_);
 }
 
+std::vector<std::size_t> RequestTrace::stream_counts() const {
+  std::vector<std::size_t> counts(streams_.size(), 0);
+  for (const TracedRequest& r : requests_) ++counts[r.stream];
+  return counts;
+}
+
 void RequestTrace::emit(Cycles arrival, std::size_t stream) {
   TracedRequest r;
   r.arrival = arrival;

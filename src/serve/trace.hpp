@@ -72,6 +72,9 @@ class RequestTrace {
   const TraceStream& stream(std::size_t i) const { return streams_[i]; }
   /// Arrival time of the last request (0 for empty traces).
   Cycles horizon() const { return requests_.empty() ? 0 : requests_.back().arrival; }
+  /// Requests per stream, index-aligned with stream(); sums to size().
+  /// Handy for validating a skewed traffic mix actually skewed.
+  std::vector<std::size_t> stream_counts() const;
 
  private:
   RequestTrace(std::vector<TraceStream> streams);

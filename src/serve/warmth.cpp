@@ -1,0 +1,59 @@
+#include "serve/warmth.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace gnnie::serve {
+
+DieWarmthModel::DieWarmthModel(Bytes budget) : budget_(budget) {
+  GNNIE_REQUIRE(budget_ > 0, "a die's warmth budget must be positive");
+}
+
+double DieWarmthModel::warm_fraction(std::uint64_t fingerprint, Bytes working_set) const {
+  for (const Entry& e : lru_) {
+    if (e.fingerprint != fingerprint) continue;
+    if (working_set == 0) return 1.0;
+    return std::min(1.0, static_cast<double>(e.bytes) / static_cast<double>(working_set));
+  }
+  return 0.0;
+}
+
+bool DieWarmthModel::is_resident(std::uint64_t fingerprint) const {
+  for (const Entry& e : lru_) {
+    if (e.fingerprint == fingerprint) return true;
+  }
+  return false;
+}
+
+DieWarmthModel::Touch DieWarmthModel::touch(std::uint64_t fingerprint, Bytes working_set) {
+  Touch result;
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    if (it->fingerprint != fingerprint) continue;
+    // Warm hit: promote to MRU; residency bytes are unchanged (the same
+    // plan always presents the same working set — planning is
+    // deterministic).
+    result.warm_fraction =
+        working_set == 0
+            ? 1.0
+            : std::min(1.0, static_cast<double>(it->bytes) / static_cast<double>(working_set));
+    lru_.splice(lru_.begin(), lru_, it);
+    return result;
+  }
+
+  // Cold: load up to the budget, demoting least-recently-serviced plans
+  // until the new working set fits. Displacing anything is a plan swap.
+  const Bytes load = std::min(working_set, budget_);
+  while (resident_ + load > budget_) {
+    GNNIE_ASSERT(!lru_.empty(), "over-budget residency with nothing to evict");
+    resident_ -= lru_.back().bytes;
+    lru_.pop_back();
+    result.swapped = true;
+  }
+  lru_.push_front(Entry{fingerprint, load});
+  resident_ += load;
+  GNNIE_ASSERT(resident_ <= budget_, "residency set exceeds the die budget");
+  return result;
+}
+
+}  // namespace gnnie::serve

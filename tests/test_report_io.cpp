@@ -2,6 +2,7 @@
 // required keys), numeric fidelity, and per-layer content.
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <string>
 
 #include "bench_util.hpp"
@@ -113,6 +114,77 @@ TEST(ReportIo, ServingJsonNumbersMatchReport) {
     ++pos;
   }
   EXPECT_EQ(count, rep.requests.size());
+}
+
+TEST(ReportIo, ServingJsonWarmthDisabledKeepsLegacyShape) {
+  // Backward compatibility: a warmth-disabled report announces the flag
+  // but carries none of the warmth keys — consumers of the PR-2 shape see
+  // only additive change.
+  const std::string json = serving_report_to_json(make_serving_report());
+  EXPECT_NE(json.find("\"warmth_enabled\":false"), std::string::npos);
+  for (const char* key : {"\"warm_hit_rate\"", "\"plan_swaps\"", "\"warm_fraction\"",
+                          "\"plan_swap\"", "\"die_warm_hit_rate\"",
+                          "\"warm_p99_latency_cycles\"", "\"cold_p99_latency_cycles\""}) {
+    EXPECT_EQ(json.find(key), std::string::npos) << key;
+  }
+}
+
+ServingReport make_warm_serving_report() {
+  ServingReport rep = make_serving_report();
+  rep.warmth_enabled = true;
+  rep.die_requests = {2, 1};
+  rep.die_warm_hits = {1, 0};
+  rep.die_plan_swaps = {1, 1};
+  rep.requests[0].warm_fraction = 1.0;   // warm hit
+  rep.requests[1].plan_swap = true;      // cold swap
+  rep.requests[2].plan_swap = true;
+  return rep;
+}
+
+/// Formats a double exactly as the JSON writer's ostream does.
+std::string json_number(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+TEST(ReportIo, ServingJsonWarmthFieldsRoundTrip) {
+  const ServingReport rep = make_warm_serving_report();
+  const std::string json = serving_report_to_json(rep);
+  EXPECT_TRUE(json_braces_balanced(json));
+  EXPECT_NE(json.find("\"warmth_enabled\":true"), std::string::npos);
+  // The rollup values survive serialization verbatim.
+  EXPECT_NE(json.find("\"warm_hit_rate\":" + json_number(rep.warm_hit_rate())),
+            std::string::npos);
+  EXPECT_NE(json.find("\"plan_swaps\":" + std::to_string(rep.total_plan_swaps())),
+            std::string::npos);
+  EXPECT_NE(json.find("\"warm_p50_latency_cycles\":" +
+                      std::to_string(rep.warm_latency_percentile(50.0))),
+            std::string::npos);
+  EXPECT_NE(json.find("\"warm_p99_latency_cycles\":" +
+                      std::to_string(rep.warm_latency_percentile(99.0))),
+            std::string::npos);
+  EXPECT_NE(json.find("\"cold_p99_latency_cycles\":" +
+                      std::to_string(rep.cold_latency_percentile(99.0))),
+            std::string::npos);
+  EXPECT_NE(json.find("\"die_warm_hit_rate\":[" + json_number(rep.die_warm_hit_rate(0)) +
+                      "," + json_number(rep.die_warm_hit_rate(1)) + "]"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"die_plan_swaps\":[1,1]"), std::string::npos);
+  // Every record carries its warmth fields.
+  std::size_t count = 0, pos = 0;
+  while ((pos = json.find("\"warm_fraction\"", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, rep.requests.size());
+  EXPECT_NE(json.find("\"warm_fraction\":1,\"plan_swap\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"warm_fraction\":0,\"plan_swap\":true"), std::string::npos);
+}
+
+TEST(ReportIo, AggregationJsonIncludesInputFetchBytes) {
+  const std::string json = report_to_json(make_report(GnnKind::kGcn));
+  EXPECT_NE(json.find("\"input_fetch_bytes\""), std::string::npos);
 }
 
 TEST(ReportIo, LayerCountMatches) {

@@ -12,6 +12,7 @@
 #include "datasets/synthetic.hpp"
 #include "nn/layers.hpp"
 #include "serve/cluster.hpp"
+#include "serve_test_util.hpp"
 
 namespace gnnie {
 namespace {
@@ -21,39 +22,7 @@ using serve::RequestTrace;
 using serve::Scheduler;
 using serve::SchedulerKind;
 using serve::TraceStream;
-
-/// One compiled GCN over two small graphs — the two-tenant serving setup.
-struct ServeFixture {
-  Dataset a;
-  Dataset b;
-  SparseMatrix b_features;
-  Engine engine{EngineConfig::paper_default(false)};
-  CompiledModel compiled;
-  GraphPlanPtr plan_a;
-  GraphPlanPtr plan_b;
-
-  static CompiledModel make_compiled(Engine& engine, const Dataset& a) {
-    ModelConfig model;
-    model.kind = GnnKind::kGcn;
-    model.input_dim = a.spec.feature_length;
-    model.hidden_dim = 32;
-    return engine.compile(model, init_weights(model, 42));
-  }
-
-  ServeFixture()
-      : a(generate_dataset(spec_of(DatasetId::kCora).scaled(0.08), 1)),
-        b(generate_dataset(spec_of(DatasetId::kCiteseer).scaled(0.08), 2)),
-        compiled(make_compiled(engine, a)) {
-    DatasetSpec bspec = b.spec;
-    bspec.feature_length = a.spec.feature_length;  // one model serves both
-    b_features = generate_features(bspec, 3);
-    plan_a = compiled.plan(a.graph);
-    plan_b = compiled.plan(b.graph);
-  }
-
-  TraceStream stream_a() { return {plan_a, &a.features, 1.0}; }
-  TraceStream stream_b() { return {plan_b, &b_features, 1.0}; }
-};
+using test::ServeFixture;  // the two-tenant serving setup (serve_test_util.hpp)
 
 TEST(ServeTrace, FixedIntervalIsDeterministicAndRoundRobin) {
   ServeFixture f;
@@ -252,6 +221,82 @@ TEST(ServeCluster, GraphAffinityRoutesEachGraphToItsOwnDie) {
   std::set<std::pair<std::size_t, std::size_t>> stream_die;
   for (const RequestRecord& r : mixed.requests) stream_die.insert({r.stream, r.die});
   EXPECT_GT(stream_die.size(), 2u);
+}
+
+TEST(ServeCluster, ShortestQueueTieBreaksDeterministicallyByLowestIndex) {
+  ServeFixture f;
+  // Eight identical zero-gap requests on four dies: every dispatch decision
+  // is a tie (equal in-flight counts), so the lowest-index rule must
+  // produce exactly the round-robin sequence 0,1,2,3,0,1,2,3. The
+  // warmth-aware scheduler degenerates to the same predicted-completion
+  // ties (warmth disabled ⇒ warm == cold), so it must match.
+  RequestTrace trace = RequestTrace::fixed_interval({f.stream_a()}, 8, 0);
+  for (SchedulerKind kind :
+       {SchedulerKind::kShortestQueue, SchedulerKind::kWarmthAware}) {
+    auto sched = Scheduler::make(kind);
+    ServingReport rep = Cluster(f.compiled, 4).simulate(trace, *sched);
+    ASSERT_EQ(rep.requests.size(), 8u);
+    for (std::size_t i = 0; i < rep.requests.size(); ++i) {
+      EXPECT_EQ(rep.requests[i].die, i % 4) << "scheduler " << rep.scheduler;
+    }
+  }
+}
+
+TEST(ServeCluster, AffinityRoutesByFingerprintAcrossPlanCacheEviction) {
+  // plan_cache_capacity 1: planning graph B evicts graph A's cached plan,
+  // and replanning A mid-trace produces a *new* plan object with the same
+  // structure fingerprint. Affinity must treat old and new plan objects of
+  // the same graph as one graph (it routes on the fingerprint), while the
+  // evicted plan held by in-flight requests stays valid.
+  EngineConfig config = EngineConfig::paper_default(false);
+  config.plan_cache_capacity = 1;
+  ServeFixture f(config);
+  GraphPlanPtr plan_a2 = f.compiled.plan(f.a.graph);  // A was evicted by plan(B)
+  ASSERT_NE(plan_a2.get(), f.plan_a.get()) << "eviction must force a fresh plan";
+  ASSERT_EQ(plan_a2->fingerprint(), f.plan_a->fingerprint());
+
+  RequestTrace trace = RequestTrace::fixed_interval(
+      {f.stream_a(), f.stream_b(), {plan_a2, &f.a.features, 1.0}}, 30, 0);
+  auto affinity = Scheduler::make(SchedulerKind::kGraphAffinity);
+  ServingReport rep = Cluster(f.compiled, 2).simulate(trace, *affinity);
+
+  std::set<std::size_t> dies_of_a, dies_of_b;
+  for (const RequestRecord& r : rep.requests) {
+    (r.stream == 1 ? dies_of_b : dies_of_a).insert(r.die);
+  }
+  // Streams 0 and 2 share a fingerprint: one die. Stream 1: the other.
+  ASSERT_EQ(dies_of_a.size(), 1u);
+  ASSERT_EQ(dies_of_b.size(), 1u);
+  EXPECT_NE(*dies_of_a.begin(), *dies_of_b.begin());
+}
+
+TEST(ServeCluster, EmptyTraceYieldsEmptyReportUnderEveryScheduler) {
+  ServeFixture f;
+  RequestTrace trace = RequestTrace::fixed_interval({f.stream_a()}, 0, 100);
+  for (SchedulerKind kind : serve::all_scheduler_kinds()) {
+    auto sched = Scheduler::make(kind);
+    ServingReport rep = Cluster(f.compiled, 2).simulate(trace, *sched);
+    EXPECT_TRUE(rep.requests.empty()) << rep.scheduler;
+    EXPECT_EQ(rep.makespan, 0u);
+    EXPECT_EQ(rep.p99_latency_cycles(), 0u);
+    EXPECT_DOUBLE_EQ(rep.warm_hit_rate(), 0.0);
+  }
+}
+
+TEST(ServeCluster, SingleRequestIsServicedImmediatelyUnderEveryScheduler) {
+  ServeFixture f;
+  const Cycles service = f.compiled.run_cost({f.plan_a, &f.a.features}).total_cycles;
+  RequestTrace trace = RequestTrace::fixed_interval({f.stream_a()}, 1, 100);
+  for (SchedulerKind kind : serve::all_scheduler_kinds()) {
+    auto sched = Scheduler::make(kind);
+    ServingReport rep = Cluster(f.compiled, 3).simulate(trace, *sched);
+    ASSERT_EQ(rep.requests.size(), 1u) << rep.scheduler;
+    const RequestRecord& r = rep.requests[0];
+    EXPECT_LT(r.die, 3u);
+    EXPECT_EQ(r.start, r.arrival);  // an idle cluster services on arrival
+    EXPECT_EQ(r.service_cycles(), service);
+    EXPECT_EQ(rep.makespan, r.finish);
+  }
 }
 
 TEST(ServeCluster, AffinityOverflowSpillsToLeastLoadedDie) {
