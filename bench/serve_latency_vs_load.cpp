@@ -201,6 +201,56 @@ int main(int argc, char** argv) {
       std::printf("\n");
     }
   }
+  json << "]}";
+
+  // --- Sweep 3: same-plan coalescing at the die. ----------------------------
+  // The sweep-1 single-graph trace on a 4-die cluster, replayed with
+  // coalescing off (max_coalesce 1, strictly serial service) and on
+  // (max_coalesce 8): past the knee the queues are deep enough that slots
+  // coalesce, the weighting setup amortizes, and the tail comes down.
+  const std::size_t batch_dies = 4;
+  std::printf("=== coalescing sweep: one graph, %zu dies ===\n", batch_dies);
+  json << ",\"batching\":{\"dies\":" << batch_dies << ",\"curves\":[";
+  bool first_batch_curve = true;
+  for (std::uint32_t cap : {1u, 8u}) {
+    EngineConfig config = EngineConfig::paper_default(false);
+    config.batching.max_coalesce = cap;
+    Engine batch_engine(config);
+    CompiledModel batch_compiled = batch_engine.compile(w.model, w.weights);
+    GraphPlanPtr batch_plan = batch_compiled.plan(w.data.graph);
+    const Cycles batch_service =
+        batch_compiled.run_cost({batch_plan, &w.data.features}).total_cycles;
+    serve::Cluster batch_cluster(batch_compiled, batch_dies);
+    auto batch_sched = serve::Scheduler::make(serve::SchedulerKind::kShortestQueue);
+    std::printf("--- max_coalesce %u ---\n", cap);
+    std::printf("%8s %14s %14s %10s %12s %14s\n", "rho", "p50 (cyc)", "p99 (cyc)",
+                "coalesce", "mean batch", "saved (cyc)");
+    json << (first_batch_curve ? "" : ",") << "{\"max_coalesce\":" << cap
+         << ",\"points\":[";
+    first_batch_curve = false;
+    for (std::size_t ri = 0; ri < rhos.size(); ++ri) {
+      const double rho = rhos[ri];
+      const double mean_gap =
+          static_cast<double>(batch_service) / (rho * static_cast<double>(batch_dies));
+      serve::RequestTrace trace = serve::RequestTrace::poisson(
+          {{batch_plan, &w.data.features}}, opt.requests, mean_gap, opt.seed);
+      const ServingReport rep = batch_cluster.simulate(trace, *batch_sched);
+      std::printf("%8.2f %14llu %14llu %9.2f%% %12.2f %14llu\n", rho,
+                  (unsigned long long)rep.p50_latency_cycles(),
+                  (unsigned long long)rep.p99_latency_cycles(),
+                  100.0 * rep.coalesce_rate(), rep.mean_batch_size(),
+                  (unsigned long long)rep.weighting_cycles_saved);
+      json << (ri == 0 ? "" : ",") << "{\"rho\":" << rho
+           << ",\"p50_latency_cycles\":" << rep.p50_latency_cycles()
+           << ",\"p99_latency_cycles\":" << rep.p99_latency_cycles()
+           << ",\"coalesce_rate\":" << rep.coalesce_rate()
+           << ",\"mean_batch_size\":" << rep.mean_batch_size()
+           << ",\"weighting_cycles_saved\":" << rep.weighting_cycles_saved
+           << ",\"makespan_cycles\":" << rep.makespan << "}";
+    }
+    json << "]}";
+    std::printf("\n");
+  }
   json << "]}}";
 
   const std::string out = json.str();

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""CI perf gate over bench_serve_latency_vs_load JSON.
+
+Compares the p99 latency of a fresh bench run against the checked-in
+baseline (bench/baseline_serve.json) at one reference offered load, across
+every curve the bench emits:
+
+  * sweep 1: the single-graph queueing knee, one curve per die count;
+  * sweep 3: the coalescing sweep, one curve per max_coalesce.
+
+The serving simulator is fully deterministic in modeled cycles (no
+wall-clock anywhere), so any drift is a real modeling/perf change, not
+noise; the threshold only leaves headroom for cross-libm rounding in the
+Poisson trace generator. Exits non-zero when any curve's p99 regresses by
+more than --threshold. An improvement beyond the threshold passes but is
+reported so the baseline can be refreshed:
+
+  ./build/bench_serve_latency_vs_load --requests=24 --scale=0.03 \
+      --json=bench/baseline_serve.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"check_bench: cannot read {path}: {e}")
+
+
+def point_at_rho(points, rho):
+    """The curve point closest to the reference load."""
+    return min(points, key=lambda p: abs(p["rho"] - rho))
+
+
+def curves_of(report):
+    """(label, points) for every gated curve in a bench JSON."""
+    for curve in report.get("curves", []):
+        yield f"{curve['dies']} die(s)", curve["points"]
+    for curve in report.get("batching", {}).get("curves", []):
+        yield f"max_coalesce {curve['max_coalesce']}", curve["points"]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="JSON emitted by this run's bench")
+    parser.add_argument("baseline", help="checked-in baseline JSON")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="max tolerated relative p99 regression (default 0.10)")
+    parser.add_argument("--rho", type=float, nargs="+", default=[0.8, 1.25],
+                        help="reference offered loads: one below the queueing "
+                             "knee and one past it, where the coalescing "
+                             "curves separate (default: 0.8 1.25)")
+    args = parser.parse_args()
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+
+    # A comparison is only meaningful over the same trace.
+    for key in ("requests", "scale", "seed"):
+        if current.get(key) != baseline.get(key):
+            sys.exit(
+                f"check_bench: parameter mismatch on '{key}': current "
+                f"{current.get(key)!r} vs baseline {baseline.get(key)!r} — "
+                "regenerate the baseline with the CI bench arguments")
+
+    base_curves = dict(curves_of(baseline))
+    cur_labels = [label for label, _ in curves_of(current)]
+    missing = [label for label in cur_labels if label not in base_curves]
+    dropped = [label for label in base_curves if label not in cur_labels]
+    if missing or dropped:
+        sys.exit(f"check_bench: curve sets differ (current-only: {missing or '-'}; "
+                 f"baseline-only: {dropped or '-'}) — the bench's curve set "
+                 "changed; refresh bench/baseline_serve.json so every curve "
+                 "stays gated")
+    regressions = []
+    improvements = []
+    for rho in args.rho:
+        print(f"p99 latency at rho ~ {rho} (threshold {args.threshold:.0%}):")
+        for label, points in curves_of(current):
+            cur_point = point_at_rho(points, rho)
+            base_point = point_at_rho(base_curves[label], rho)
+            if cur_point["rho"] != base_point["rho"]:
+                sys.exit(f"check_bench: {label} matched different loads (current "
+                         f"rho {cur_point['rho']} vs baseline rho "
+                         f"{base_point['rho']}) — the bench's rho grid changed; "
+                         "refresh the baseline")
+            cur = cur_point["p99_latency_cycles"]
+            base = base_point["p99_latency_cycles"]
+            delta = (cur - base) / base if base else 0.0
+            verdict = "OK"
+            tag = f"{label} @ rho {rho}"
+            if delta > args.threshold:
+                verdict = "REGRESSION"
+                regressions.append(tag)
+            elif delta < -args.threshold:
+                verdict = "improved"
+                improvements.append(tag)
+            print(f"  {label:>20}: baseline {base:>10} cycles, current {cur:>10} "
+                  f"cycles ({delta:+.1%}) {verdict}")
+
+    if improvements:
+        print(f"note: {len(improvements)} curve(s) improved past the threshold — "
+              "consider refreshing bench/baseline_serve.json")
+    if regressions:
+        print(f"FAIL: p99 regressed >{args.threshold:.0%} on: {', '.join(regressions)}")
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,8 @@ void EngineConfig::validate() const {
                 "replacement fraction in (0,1]");
   GNNIE_REQUIRE(cache.block_vertices >= 1, "cache blocks must hold at least one vertex");
   GNNIE_REQUIRE(plan_cache_capacity >= 1, "plan cache must hold at least one plan");
+  GNNIE_REQUIRE(batching.max_coalesce >= 1,
+                "a service slot holds at least the head request (max_coalesce >= 1)");
 }
 
 }  // namespace gnnie

@@ -83,6 +83,20 @@ struct WarmthConfig {
   Cycles plan_swap_penalty_cycles = 1000;
 };
 
+/// Die-level same-plan coalescing for the serving cluster (serve::Cluster).
+/// When a die starts a service it may drain further queued requests sharing
+/// the head request's plan fingerprint into the same service slot: the slot
+/// streams each weighting pass's weight columns once, so followers skip the
+/// weight-stream share of their weighting stages' exposed memory time
+/// (weighting geometry and FM bin setup are plan/compile-level precomputes
+/// already shared). Aggregation stays per request — it is graph- and
+/// value-dependent. Default max_coalesce = 1: strictly serial service,
+/// bit-exact with the uncoalesced simulator.
+struct BatchingConfig {
+  /// Most requests one service slot may absorb (head + followers); 1 = off.
+  std::uint32_t max_coalesce = 1;
+};
+
 struct EngineConfig {
   ArrayConfig array = ArrayConfig::design_e();
   BufferSizes buffers = BufferSizes::for_dataset(true);
@@ -108,6 +122,8 @@ struct EngineConfig {
   std::uint32_t plan_cache_capacity = 16;
   /// Serving-layer knob: the per-die cache-residency (warmth) model.
   WarmthConfig warmth;
+  /// Serving-layer knob: die-level same-plan request coalescing.
+  BatchingConfig batching;
 
   /// The per-die residency budget the warmth model actually uses:
   /// warmth.die_budget_bytes, defaulting to the input buffer capacity.

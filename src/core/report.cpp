@@ -98,6 +98,25 @@ Cycles ServingReport::cold_latency_percentile(double pct) const {
   return class_latency_percentile(requests, /*warm=*/false, pct);
 }
 
+std::uint64_t ServingReport::total_groups() const {
+  std::uint64_t groups = 0;
+  for (std::uint64_t c : batch_size_counts) groups += c;
+  return groups;
+}
+
+double ServingReport::coalesce_rate() const {
+  if (requests.empty()) return 0.0;
+  std::uint64_t coalesced = 0;
+  for (const RequestRecord& r : requests) coalesced += r.group_size > 1 ? 1 : 0;
+  return static_cast<double>(coalesced) / static_cast<double>(requests.size());
+}
+
+double ServingReport::mean_batch_size() const {
+  const std::uint64_t groups = total_groups();
+  if (groups == 0) return requests.empty() ? 0.0 : 1.0;
+  return static_cast<double>(requests.size()) / static_cast<double>(groups);
+}
+
 // ---------------------------------------------------------------------------
 // Warm-run cycle model
 
@@ -121,6 +140,30 @@ Cycles warm_total_cycles(const InferenceReport& rep, double warm_fraction) {
     total -= warmth_discount_cycles(lr.aggregation, warm_fraction);
   }
   return total;
+}
+
+// ---------------------------------------------------------------------------
+// Coalesced-batch cycle model
+
+Cycles batching_discount_cycles(const WeightingReport& w) {
+  if (w.dram_stream_bytes == 0) return 0;
+  // Exposed memory time of the stage: total = Σ_passes max(compute, memory)
+  // ≥ compute, and ≤ compute + memory, so this lands in [0, memory_cycles].
+  const Cycles exposed =
+      w.total_cycles > w.compute_cycles ? w.total_cycles - w.compute_cycles : 0;
+  const double weight_share =
+      std::min(1.0, static_cast<double>(w.weight_stream_bytes) /
+                        static_cast<double>(w.dram_stream_bytes));
+  return static_cast<Cycles>(static_cast<double>(exposed) * weight_share);
+}
+
+Cycles batch_follower_saved_cycles(const InferenceReport& rep) {
+  Cycles saved = 0;
+  for (const LayerReport& lr : rep.layers) {
+    saved += batching_discount_cycles(lr.weighting);
+    if (lr.mlp2) saved += batching_discount_cycles(*lr.mlp2);
+  }
+  return saved;
 }
 
 void apply_warmth_discount(InferenceReport& rep, double warm_fraction) {

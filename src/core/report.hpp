@@ -84,6 +84,9 @@ struct RequestRecord {
   /// Servicing this request displaced another plan's resident state (the
   /// cluster charged the plan-swap penalty).
   bool plan_swap = false;
+  /// Size of the coalesced same-plan group this request was serviced in
+  /// (1 = alone in its slot; always 1 when coalescing is off).
+  std::uint32_t group_size = 1;
 
   Cycles service_cycles() const { return finish - start; }
   Cycles queue_cycles() const { return start - arrival; }
@@ -112,6 +115,14 @@ struct ServingReport {
   std::vector<std::uint64_t> die_requests;    ///< requests serviced, per die
   std::vector<std::uint64_t> die_warm_hits;   ///< warm_hit() services, per die
   std::vector<std::uint64_t> die_plan_swaps;  ///< swap-penalized services, per die
+  /// Coalescing (EngineConfig::batching) state of the run that produced
+  /// this report: the configured cap, the batch-size histogram
+  /// (batch_size_counts[b-1] = service slots that coalesced b requests),
+  /// and the weighting-setup cycles followers skipped. With max_coalesce 1
+  /// every slot holds one request and nothing is saved.
+  std::uint32_t max_coalesce = 1;
+  std::vector<std::uint64_t> batch_size_counts;
+  Cycles weighting_cycles_saved = 0;
 
   /// Nearest-rank latency percentile over all requests; pct in (0, 100].
   /// Sorts per call — batch callers should sort once (sorted_latencies)
@@ -146,6 +157,15 @@ struct ServingReport {
   /// only; 0 when no request falls in the class.
   Cycles warm_latency_percentile(double pct) const;
   Cycles cold_latency_percentile(double pct) const;
+
+  /// Service slots executed (Σ batch_size_counts; == request count when
+  /// coalescing is off).
+  std::uint64_t total_groups() const;
+  /// Fraction of all requests serviced in a slot shared with at least one
+  /// other request (0 with coalescing off or an empty trace).
+  double coalesce_rate() const;
+  /// Mean requests per service slot (1.0 with coalescing off).
+  double mean_batch_size() const;
 };
 
 /// Nearest-rank percentile over an ascending-sorted sample; pct in (0, 100].
@@ -176,5 +196,41 @@ Cycles warm_total_cycles(const InferenceReport& rep, double warm_fraction);
 /// run total all shrink by that layer's discount. warm_fraction must be in
 /// [0, 1]; 0 leaves the report bit-identical.
 void apply_warmth_discount(InferenceReport& rep, double warm_fraction);
+
+// ---------------------------------------------------------------------------
+// Coalesced-batch cycle model (EngineConfig::batching).
+//
+// A group of same-plan requests serviced in one die slot streams each
+// weighting pass's weight columns from DRAM once — the weight-stationary
+// array already holds them when a follower's features stream through — and
+// the per-plan setup (weighting geometry, FM bin boundaries over the
+// z-histogram) is charged once for the slot. Followers therefore skip the
+// weight-stream share of each weighting stage's *exposed* memory time (the
+// memory cycles not hidden behind compute), while aggregation, attention,
+// and activation remain per request: GNNIE's aggregation is graph- and
+// value-dependent, so it cannot batch. The saving is ≥ 0 and never exceeds
+// the stage's exposed memory time, so a batched slot is ≤ the serial sum of
+// its members by construction. It also touches only weighting stages —
+// disjoint from the warmth discount, which touches only aggregation stages
+// — so the two discounts compose without interaction.
+
+/// Cycles one coalesced follower saves on one weighting stage.
+Cycles batching_discount_cycles(const WeightingReport& w);
+
+/// Cycles one coalesced follower saves relative to serial service of the
+/// run described by `rep` (summed over the run's weighting stages,
+/// including GIN's second linear and DiffPool's coarsening matmuls).
+Cycles batch_follower_saved_cycles(const InferenceReport& rep);
+
+/// Charge of one slot member given its (already warmth-discounted) serial
+/// cost and its follower saving: the head pays serial, followers subtract
+/// the saving, clamped so a slot is never longer than serial service. The
+/// single encoding of the member-charge rule — run_cost_batch and the
+/// cluster both price slots through this.
+inline Cycles batch_member_charge(Cycles serial_cycles, Cycles follower_saving,
+                                  bool follower) {
+  if (!follower) return serial_cycles;
+  return serial_cycles - (follower_saving < serial_cycles ? follower_saving : serial_cycles);
+}
 
 }  // namespace gnnie

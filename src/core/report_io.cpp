@@ -13,7 +13,9 @@ void write_weighting(std::ostream& out, const WeightingReport& rep) {
       << ",\"stall_cycles\":" << rep.stall_cycles << ",\"passes\":" << rep.passes
       << ",\"macs\":" << rep.macs << ",\"blocks_total\":" << rep.blocks_total
       << ",\"blocks_skipped\":" << rep.blocks_skipped
-      << ",\"lr_moved_blocks\":" << rep.lr_moved_blocks << ",\"row_cycles\":[";
+      << ",\"lr_moved_blocks\":" << rep.lr_moved_blocks
+      << ",\"weight_stream_bytes\":" << rep.weight_stream_bytes
+      << ",\"dram_stream_bytes\":" << rep.dram_stream_bytes << ",\"row_cycles\":[";
   for (std::size_t r = 0; r < rep.row_cycles.size(); ++r) {
     out << (r == 0 ? "" : ",") << rep.row_cycles[r];
   }
@@ -113,6 +115,20 @@ void write_serving_report_json(std::ostream& out, const ServingReport& report) {
     }
     out << "]";
   }
+  if (report.max_coalesce > 1) {
+    // Coalescing rollup: emitted only when the run could coalesce, so
+    // max_coalesce = 1 reports keep the pre-batching JSON shape.
+    out << ",\"max_coalesce\":" << report.max_coalesce
+        << ",\"coalesce_rate\":" << report.coalesce_rate()
+        << ",\"service_groups\":" << report.total_groups()
+        << ",\"mean_batch_size\":" << report.mean_batch_size()
+        << ",\"weighting_cycles_saved\":" << report.weighting_cycles_saved
+        << ",\"batch_size_counts\":[";
+    for (std::size_t b = 0; b < report.batch_size_counts.size(); ++b) {
+      out << (b == 0 ? "" : ",") << report.batch_size_counts[b];
+    }
+    out << "]";
+  }
   out << ",\"records\":[";
   for (std::size_t i = 0; i < report.requests.size(); ++i) {
     const RequestRecord& r = report.requests[i];
@@ -122,6 +138,9 @@ void write_serving_report_json(std::ostream& out, const ServingReport& report) {
     if (report.warmth_enabled) {
       out << ",\"warm_fraction\":" << r.warm_fraction
           << ",\"plan_swap\":" << (r.plan_swap ? "true" : "false");
+    }
+    if (report.max_coalesce > 1) {
+      out << ",\"group_size\":" << r.group_size;
     }
     out << "}";
   }

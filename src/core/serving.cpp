@@ -1,6 +1,7 @@
 #include "core/serving.hpp"
 
 #include <algorithm>
+#include <map>
 
 #include "common/require.hpp"
 #include "core/attention.hpp"
@@ -539,6 +540,46 @@ InferenceReport CompiledModel::run_cost(const RunRequest& request,
   InferenceReport rep = run(request).report;
   apply_warmth_discount(rep, warm_fraction);
   return rep;
+}
+
+BatchCostReport CompiledModel::run_cost_batch(std::span<const RunRequest> requests,
+                                              double warm_fraction) const {
+  GNNIE_REQUIRE(!requests.empty(), "a coalesced slot needs at least one request");
+  GNNIE_REQUIRE(warm_fraction >= 0.0 && warm_fraction <= 1.0,
+                "warm fraction must be in [0, 1]");
+  for (const RunRequest& r : requests) {
+    GNNIE_REQUIRE(r.plan != nullptr, "every coalesced request needs a GraphPlan");
+  }
+  const std::uint64_t fp = requests.front().plan->fingerprint();
+  for (const RunRequest& r : requests) {
+    GNNIE_REQUIRE(r.plan->fingerprint() == fp,
+                  "coalesced requests must share one plan fingerprint");
+  }
+
+  // Distinct (plan, features) pairs simulate once; runs are stateless, so
+  // the memoized cold report is exact for every repeat in the slot.
+  std::map<std::pair<const void*, const void*>, InferenceReport> memo;
+  BatchCostReport batch;
+  batch.request_cycles.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const auto key =
+        std::make_pair(static_cast<const void*>(requests[i].plan.get()),
+                       static_cast<const void*>(requests[i].features));
+    auto it = memo.find(key);
+    if (it == memo.end()) it = memo.emplace(key, run(requests[i]).report).first;
+    const InferenceReport& cold = it->second;
+    // The warmth discount touches only aggregation stages, so the follower
+    // saving (weighting stages only) computed on the cold report applies
+    // unchanged to the warm cost.
+    const Cycles serial = warm_total_cycles(cold, warm_fraction);
+    const Cycles charged =
+        batch_member_charge(serial, batch_follower_saved_cycles(cold), i > 0);
+    batch.request_cycles.push_back(charged);
+    batch.total_cycles += charged;
+    batch.serial_cycles += serial;
+  }
+  batch.weighting_saved_cycles = batch.serial_cycles - batch.total_cycles;
+  return batch;
 }
 
 BatchResult CompiledModel::run_batch(std::span<const RunRequest> requests) const {

@@ -158,6 +158,18 @@ struct BatchResult {
   BatchReport report;
 };
 
+/// Timing of one coalesced same-plan service slot (run_cost_batch): the
+/// head request runs in full; each follower reuses the slot's streamed
+/// weights and shared per-plan setup, skipping the weight-stream share of
+/// its weighting stages' exposed memory time (batch_follower_saved_cycles,
+/// core/report.hpp). total_cycles ≤ serial_cycles by construction.
+struct BatchCostReport {
+  std::vector<Cycles> request_cycles;  ///< charged cycles per request, group order
+  Cycles total_cycles = 0;             ///< the slot's service time (Σ request_cycles)
+  Cycles serial_cycles = 0;            ///< the same requests serviced serially
+  Cycles weighting_saved_cycles = 0;   ///< serial_cycles − total_cycles
+};
+
 /// A validated (model, weights, accelerator config, cache policy) bundle.
 /// Immutable and cheaply copyable (shared state); safe to hand to several
 /// serving threads, each running requests independently.
@@ -204,6 +216,19 @@ class CompiledModel {
   /// warm_fraction 0 is bit-exact with run_cost(request); warm cost is
   /// never above cold cost.
   InferenceReport run_cost(const RunRequest& request, double warm_fraction) const;
+
+  /// Timing of `requests` coalesced into one service slot. All requests
+  /// must share one plan fingerprint (same graph structure; distinct plan
+  /// objects of the same graph — e.g. across a plan-cache eviction — are
+  /// fine). `warm_fraction` is the share of the plan's working set resident
+  /// at slot start, applied to every member (apply_warmth_discount); the
+  /// batching discount for followers stacks on top, and the two touch
+  /// disjoint stages (aggregation vs weighting). A single request
+  /// degenerates to run_cost(request, warm_fraction) exactly. Distinct
+  /// (plan, features) pairs are simulated once and memoized within the
+  /// call (the PR-2 cost precompute: runs are stateless, the memo is exact).
+  BatchCostReport run_cost_batch(std::span<const RunRequest> requests,
+                                 double warm_fraction = 0.0) const;
 
   /// Services requests sequentially on the modeled accelerator and returns
   /// per-request results plus the aggregate batch report (makespan,

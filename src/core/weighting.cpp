@@ -350,6 +350,9 @@ void WeightingEngine::simulate(const BlockGrid& grid, const WeightingGeometry& g
       hbm_->access(layout_.feature_base, feature_bytes_this_pass, false, MemClient::kInput);
       hbm_->access(layout_.output_base + p * output_bytes_per_pass, output_bytes_per_pass,
                    true, MemClient::kOutput);
+      rep.weight_stream_bytes += weight_bytes_per_pass;
+      rep.dram_stream_bytes +=
+          weight_bytes_per_pass + feature_bytes_this_pass + output_bytes_per_pass;
       // Psum pressure beyond the MPE slots spills partials through the
       // output buffer to DRAM and reads them back ("the output buffer has
       // the most transactions with DRAM due to psum storage", Fig. 14).
@@ -364,6 +367,7 @@ void WeightingEngine::simulate(const BlockGrid& grid, const WeightingGeometry& g
                        MemClient::kOutput);
           hbm_->access(layout_.output_base + passes * output_bytes_per_pass, spill_bytes,
                        false, MemClient::kOutput);
+          rep.dram_stream_bytes += 2 * spill_bytes;
         }
       }
       mem_per_pass = hbm_->epoch_cycles();

@@ -39,6 +39,13 @@ struct WeightingReport {
   /// Blocks moved by LR and the overhead charged for them.
   std::uint64_t lr_moved_blocks = 0;
   Cycles lr_overhead_cycles = 0;
+  /// DRAM bytes streamed for the weight columns alone (passes × the layer's
+  /// weight_stream_bytes_per_pass) vs. the stage's whole DRAM stream
+  /// (weights + features + outputs + psum spills). A coalesced same-plan
+  /// follower skips the weight share of the exposed memory time (see
+  /// batching_discount_cycles in core/report.hpp).
+  Bytes weight_stream_bytes = 0;
+  Bytes dram_stream_bytes = 0;
 
   /// max/mean per-row cycles (1.0 = perfectly balanced).
   double row_imbalance() const;

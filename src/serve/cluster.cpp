@@ -5,6 +5,7 @@
 #include <limits>
 #include <map>
 #include <utility>
+#include <vector>
 
 #include "common/require.hpp"
 #include "serve/warmth.hpp"
@@ -25,18 +26,26 @@ constexpr Cycles kNever = std::numeric_limits<Cycles>::max();
 struct DieState {
   std::deque<std::size_t> queue;  ///< waiting request indices, FIFO
   bool busy = false;
-  std::size_t in_service = 0;     ///< request index (valid when busy)
+  /// Indices of the coalesced group in service (slot order; size 1 when
+  /// coalescing is off). The die is busy until the whole slot drains —
+  /// groups are atomic.
+  std::vector<std::size_t> group;
   Cycles busy_until = 0;
 };
 
-/// Memoized per-(plan, features) service cost: the cold cycle count, plus —
-/// only when warmth is enabled — the full cold report (needed for
-/// partial-warmth discounts) and the fully-warm endpoint the schedulers
-/// see. The disabled path stays as lean as the warmth-unaware memo.
+/// Memoized per-(plan, features) service data. Everything in here is
+/// WARMTH-INDEPENDENT by design: the memo stores the cold report (and
+/// values derived from it alone), never a warm-discounted charge — warm
+/// fractions vary per service and are applied outside the memo
+/// (warm_total_cycles at service start), so warm and cold services of the
+/// same request are charged differently even though they share this entry.
 struct CostEntry {
   InferenceReport cold_report;  ///< empty when warmth is disabled
   Cycles cold = 0;
   Cycles warm_full = 0;  ///< cold minus the full warm discount (== cold when disabled)
+  /// Cycles a coalesced follower of this request saves (0 when coalescing
+  /// is off; weighting stages only, so warmth-independent too).
+  Cycles follower_saving = 0;
 };
 
 }  // namespace
@@ -45,6 +54,7 @@ ServingReport Cluster::simulate(const RequestTrace& trace,
                                 const Scheduler& scheduler) const {
   const EngineConfig& config = model_.config();
   const WarmthConfig& wcfg = config.warmth;
+  const std::uint32_t max_coalesce = config.batching.max_coalesce;
 
   ServingReport report;
   report.dies = die_count_;
@@ -55,6 +65,7 @@ ServingReport Cluster::simulate(const RequestTrace& trace,
   report.die_requests.assign(die_count_, 0);
   report.die_warm_hits.assign(die_count_, 0);
   report.die_plan_swaps.assign(die_count_, 0);
+  report.max_coalesce = max_coalesce;
   report.requests.resize(trace.size());
 
   const std::vector<TracedRequest>& arrivals = trace.requests();
@@ -75,95 +86,198 @@ ServingReport Cluster::simulate(const RequestTrace& trace,
     auto it = service_memo.find(key);
     if (it == service_memo.end()) {
       CostEntry entry;
-      if (wcfg.enabled) {
-        entry.cold_report = model_.run_cost(request);
-        entry.cold = entry.cold_report.total_cycles;
-        entry.warm_full = warm_total_cycles(entry.cold_report, 1.0);
-      } else {
-        entry.cold = model_.run_cost(request).total_cycles;
-        entry.warm_full = entry.cold;
-      }
+      InferenceReport cold = model_.run_cost(request);
+      entry.cold = cold.total_cycles;
+      entry.warm_full = wcfg.enabled ? warm_total_cycles(cold, 1.0) : cold.total_cycles;
+      entry.follower_saving = max_coalesce > 1 ? batch_follower_saved_cycles(cold) : 0;
+      if (wcfg.enabled) entry.cold_report = std::move(cold);
       it = service_memo.emplace(key, std::move(entry)).first;
     }
     return it->second;
   };
+  std::vector<DieState> dies(die_count_);
+  std::vector<DieStatus> status(die_count_);
+  std::deque<std::size_t> deferred;  // the global arrival-order queue
+  auto fingerprint_of = [&](std::size_t idx) -> std::uint64_t {
+    return arrivals[idx].request.plan->fingerprint();
+  };
+  // Same-plan requests currently waiting anywhere (die queues + the global
+  // queue): the coalescing opportunity a scheduler is shown. Queues are
+  // short, so the scan beats maintaining an incremental count.
+  auto waiting_same_plan = [&](std::uint64_t fp) -> std::size_t {
+    std::size_t n = 0;
+    for (const DieState& die : dies) {
+      for (std::size_t idx : die.queue) n += fingerprint_of(idx) == fp ? 1 : 0;
+    }
+    for (std::size_t idx : deferred) n += fingerprint_of(idx) == fp ? 1 : 0;
+    return n;
+  };
   auto estimate_of = [&](std::size_t idx) -> RequestEstimate {
     const CostEntry& cost = cost_of(idx);
     RequestEstimate est;
-    est.fingerprint = arrivals[idx].request.plan->fingerprint();
+    est.fingerprint = fingerprint_of(idx);
     est.working_set_bytes = arrivals[idx].request.plan->warm_working_set_bytes();
     est.cold_cycles = cost.cold;
     est.warm_cycles = wcfg.enabled ? cost.warm_full : cost.cold;
     est.swap_penalty_cycles = wcfg.enabled ? wcfg.plan_swap_penalty_cycles : 0;
+    if (max_coalesce > 1) {
+      est.coalesce_count = static_cast<std::uint32_t>(std::min<std::size_t>(
+          max_coalesce, 1 + waiting_same_plan(est.fingerprint)));
+      est.batch_saving_cycles = cost.follower_saving;
+    }
     return est;
   };
 
-  std::vector<DieState> dies(die_count_);
-  std::vector<DieStatus> status(die_count_);
   std::vector<DieWarmthModel> warmth;
   if (wcfg.enabled) {
     warmth.assign(die_count_, DieWarmthModel(config.warmth_die_budget()));
     for (std::size_t d = 0; d < die_count_; ++d) status[d].warmth = &warmth[d];
   }
-  std::deque<std::size_t> deferred;  // the global arrival-order queue
   // Routing-time service estimate of each queued request, so the die's
   // queued-backlog estimate can be released when service starts.
   std::vector<Cycles> routed_estimate(arrivals.size(), 0);
   std::size_t next_arrival = 0;
   std::size_t completed = 0;
 
-  auto start_service = [&](std::size_t d, std::size_t idx, Cycles now) {
-    const CostEntry& cost = cost_of(idx);
-    RequestRecord& rec = report.requests[idx];
-    Cycles service = cost.cold;
-    if (wcfg.enabled) {
-      const GraphPlanPtr& plan = arrivals[idx].request.plan;
-      const DieWarmthModel::Touch touch =
-          warmth[d].touch(plan->fingerprint(), plan->warm_working_set_bytes());
-      service = warm_total_cycles(cost.cold_report, touch.warm_fraction);
-      if (touch.swapped) service += wcfg.plan_swap_penalty_cycles;
-      rec.warm_fraction = touch.warm_fraction;
-      rec.plan_swap = touch.swapped;
-      report.die_warm_hits[d] += touch.warm_fraction > 0.0 ? 1 : 0;
-      report.die_plan_swaps[d] += touch.swapped ? 1 : 0;
+  auto sync_queue_status = [&](std::size_t d) {
+    status[d].queue_depth = dies[d].queue.size();
+    // Publish the head-of-line plan only while the head's upcoming slot
+    // can still absorb another same-plan request — once the queue already
+    // holds max_coalesce of them, a newcomer would run in a later slot and
+    // must not be promised the ride discount.
+    std::uint64_t head_fp = 0;
+    if (!dies[d].queue.empty() && max_coalesce > 1) {
+      const std::uint64_t fp = fingerprint_of(dies[d].queue.front());
+      std::size_t same_plan = 0;
+      for (std::size_t idx : dies[d].queue) same_plan += fingerprint_of(idx) == fp ? 1 : 0;
+      if (same_plan < max_coalesce) head_fp = fp;
     }
-    ++report.die_requests[d];
+    status[d].queue_head_fingerprint = head_fp;
+  };
+
+  // Start one service slot on die `d`: the head request plus — when
+  // coalescing is on — up to max_coalesce−1 waiting requests sharing the
+  // head's plan fingerprint, drained first from this die's own queue, then
+  // from the global arrival-order queue. The slot is atomic: the die stays
+  // busy until every member drains, warmth residency is touched once, and
+  // followers are charged with their weighting setup amortized away.
+  auto start_service = [&](std::size_t d, std::size_t head, Cycles now) {
+    const std::uint64_t fp = fingerprint_of(head);
+    std::vector<std::size_t> group = {head};
+    if (max_coalesce > 1) {
+      DieState& die = dies[d];
+      for (auto it = die.queue.begin();
+           it != die.queue.end() && group.size() < max_coalesce;) {
+        if (fingerprint_of(*it) == fp) {
+          status[d].queued_cycles_estimate -=
+              std::min(status[d].queued_cycles_estimate, routed_estimate[*it]);
+          group.push_back(*it);
+          it = die.queue.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      sync_queue_status(d);
+      for (auto it = deferred.begin();
+           it != deferred.end() && group.size() < max_coalesce;) {
+        if (fingerprint_of(*it) == fp) {
+          group.push_back(*it);
+          it = deferred.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+
+    // One residency touch per slot. The head sees the fraction resident on
+    // arrival; followers run back-to-back behind it and see the post-load
+    // fraction — exactly what serial service would have charged them, so a
+    // coalesced slot can only subtract from the serial sum, never add.
+    double head_fraction = 0.0;
+    double follower_fraction = 0.0;
+    bool swapped = false;
+    if (wcfg.enabled) {
+      const GraphPlanPtr& plan = arrivals[head].request.plan;
+      const DieWarmthModel::Touch touch =
+          warmth[d].touch(fp, plan->warm_working_set_bytes());
+      head_fraction = touch.warm_fraction;
+      follower_fraction = warmth[d].warm_fraction(fp, plan->warm_working_set_bytes());
+      swapped = touch.swapped;
+    }
+
+    Cycles at = now;
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      const std::size_t idx = group[i];
+      const CostEntry& cost = cost_of(idx);
+      RequestRecord& rec = report.requests[idx];
+      Cycles service = cost.cold;
+      if (wcfg.enabled) {
+        const double fraction = i == 0 ? head_fraction : follower_fraction;
+        service = warm_total_cycles(cost.cold_report, fraction);
+        if (i == 0 && swapped) service += wcfg.plan_swap_penalty_cycles;
+        rec.warm_fraction = fraction;
+        rec.plan_swap = i == 0 && swapped;
+        report.die_warm_hits[d] += fraction > 0.0 ? 1 : 0;
+        report.die_plan_swaps[d] += rec.plan_swap ? 1 : 0;
+      }
+      if (i > 0) {
+        // Follower: the slot's weights are already streaming; its own
+        // weighting setup share is saved (batch_member_charge — the same
+        // rule run_cost_batch prices with). The saving touches weighting
+        // stages, the warmth discount aggregation stages — disjoint.
+        const Cycles charged =
+            batch_member_charge(service, cost.follower_saving, /*follower=*/true);
+        report.weighting_cycles_saved += service - charged;
+        service = charged;
+      }
+      ++report.die_requests[d];
+      rec.die = d;
+      rec.start = at;
+      rec.finish = at + service;
+      rec.group_size = static_cast<std::uint32_t>(group.size());
+      at = rec.finish;
+    }
+    if (report.batch_size_counts.size() < group.size()) {
+      report.batch_size_counts.resize(group.size(), 0);
+    }
+    ++report.batch_size_counts[group.size() - 1];
+
     DieState& die = dies[d];
     die.busy = true;
-    die.in_service = idx;
-    die.busy_until = now + service;
+    die.group = std::move(group);
+    die.busy_until = at;
     status[d].busy = true;
-    status[d].busy_until = die.busy_until;
-    rec.die = d;
-    rec.start = now;
-    rec.finish = die.busy_until;
+    status[d].in_service_count = die.group.size();
+    status[d].busy_until = at;
   };
 
   // Route one request to die `d`: it joins the die's queue (starting
   // immediately if the die is idle) and the die's affinity flips to the
-  // request's graph.
-  auto enqueue_on_die = [&](std::size_t d, std::size_t idx, Cycles now) {
+  // request's graph. `est` is the offer-time estimate the scheduler saw.
+  auto enqueue_on_die = [&](std::size_t d, std::size_t idx, const RequestEstimate& est,
+                            Cycles now) {
     if (dies[d].busy) {
       // Queued: remember the routing-time estimate in the die's visible
       // backlog (released when service starts). Estimated before the
       // affinity flip so it reflects the die state the scheduler saw.
-      routed_estimate[idx] = estimate_die_service(status[d], estimate_of(idx));
-      status[d].affinity_fingerprint = arrivals[idx].request.plan->fingerprint();
+      routed_estimate[idx] = estimate_die_service(status[d], est);
+      status[d].affinity_fingerprint = est.fingerprint;
       dies[d].queue.push_back(idx);
-      status[d].queue_depth = dies[d].queue.size();
+      sync_queue_status(d);
       status[d].queued_cycles_estimate += routed_estimate[idx];
     } else {
       GNNIE_ASSERT(dies[d].queue.empty(), "an idle die cannot hold a queue");
-      status[d].affinity_fingerprint = arrivals[idx].request.plan->fingerprint();
+      status[d].affinity_fingerprint = est.fingerprint;
       start_service(d, idx, now);
     }
   };
 
   auto offer = [&](std::size_t idx, Cycles now) -> bool {
-    const std::size_t d = scheduler.pick(arrivals[idx], estimate_of(idx), status, now);
+    const RequestEstimate est = estimate_of(idx);
+    const std::size_t d = scheduler.pick(arrivals[idx], est, status, now);
     if (d == Scheduler::kDefer) return false;
     GNNIE_REQUIRE(d < die_count_, "scheduler picked a die outside the cluster");
-    enqueue_on_die(d, idx, now);
+    enqueue_on_die(d, idx, est, now);
     return true;
   };
 
@@ -187,10 +301,15 @@ ServingReport Cluster::simulate(const RequestTrace& trace,
       for (std::size_t d = 0; d < die_count_; ++d) {
         DieState& die = dies[d];
         if (!die.busy || die.busy_until != now) continue;
-        report.die_busy_cycles[d] += report.requests[die.in_service].service_cycles();
-        ++completed;
+        // The slot's members sum to exactly the die's busy span.
+        for (std::size_t idx : die.group) {
+          report.die_busy_cycles[d] += report.requests[idx].service_cycles();
+          ++completed;
+        }
+        die.group.clear();
         die.busy = false;
         status[d].busy = false;
+        status[d].in_service_count = 0;
         status[d].busy_until = 0;
       }
       for (std::size_t d = 0; d < die_count_; ++d) {
@@ -198,12 +317,22 @@ ServingReport Cluster::simulate(const RequestTrace& trace,
         if (die.busy || die.queue.empty()) continue;
         const std::size_t idx = die.queue.front();
         die.queue.pop_front();
-        status[d].queue_depth = die.queue.size();
+        sync_queue_status(d);
         status[d].queued_cycles_estimate -=
             std::min(status[d].queued_cycles_estimate, routed_estimate[idx]);
         start_service(d, idx, now);
       }
-      while (!deferred.empty() && offer(deferred.front(), now)) deferred.pop_front();
+      // Re-offer the global queue head by head. The head is popped before
+      // the offer so a coalescing service slot it seats never re-drains the
+      // head itself out of `deferred`.
+      while (!deferred.empty()) {
+        const std::size_t idx = deferred.front();
+        deferred.pop_front();
+        if (!offer(idx, now)) {
+          deferred.push_front(idx);
+          break;
+        }
+      }
     } else {
       const Cycles now = t_arrival;
       const std::size_t idx = next_arrival++;

@@ -37,6 +37,20 @@
 // and swap counters plus warm/cold latency breakdowns. With warmth
 // disabled every request is charged the cold cost — bit-exact with the
 // warmth-unaware simulator, including the run_batch degenerate case.
+//
+// Coalescing (EngineConfig::batching, default off): when a die starts a
+// service it drains up to max_coalesce waiting requests sharing the head
+// request's plan fingerprint — first from its own queue, then from the
+// global queue — into one atomic slot, modeled as a single weighting/setup
+// pass plus per-request aggregation (the run_cost_batch slot model,
+// core/serving.hpp): followers skip the weight-stream share of their
+// weighting stages' exposed memory time. Warmth residency is touched once
+// per slot (the head pays any swap; followers see the post-load fraction),
+// per-request latencies run from each member's own arrival, and a slot is
+// never longer than serial service of its members by construction. The
+// report gains the batch-size histogram, coalesce rate, and the
+// weighting-setup cycles saved. With max_coalesce = 1 every slot holds one
+// request — bit-exact with the uncoalesced simulator.
 #pragma once
 
 #include <cstdint>

@@ -7,7 +7,10 @@
 
 namespace gnnie::serve {
 
-Cycles estimate_die_service(const DieStatus& die, const RequestEstimate& estimate) {
+namespace {
+
+/// Warmth component of the routing-time estimate (no coalescing applied).
+Cycles estimate_warmth_service(const DieStatus& die, const RequestEstimate& estimate) {
   if (die.warmth == nullptr) return estimate.cold_cycles;  // warmth disabled
   if (die.warmth->is_resident(estimate.fingerprint)) {
     // Interpolate cold → fully-warm by the resident fraction: a working
@@ -27,6 +30,21 @@ Cycles estimate_die_service(const DieStatus& die, const RequestEstimate& estimat
   // routing-time upper estimate, not the charge.)
   return estimate.cold_cycles +
          (die.warmth->resident_bytes() > 0 ? estimate.swap_penalty_cycles : 0);
+}
+
+}  // namespace
+
+Cycles estimate_die_service(const DieStatus& die, const RequestEstimate& estimate) {
+  Cycles service = estimate_warmth_service(die, estimate);
+  if (estimate.coalesce_count > 1 &&
+      die.queue_head_fingerprint == estimate.fingerprint) {
+    // The die's head-of-line slot is joinable for this plan: the request
+    // rides it as a coalesced follower, its own weighting setup amortized
+    // away. Lives here — not in individual schedulers — so pick() and the
+    // cluster's queued-backlog accounting price the ride identically.
+    service -= std::min(service, estimate.batch_saving_cycles);
+  }
+  return service;
 }
 
 namespace {
@@ -96,6 +114,9 @@ struct WarmthAwareScheduler final : Scheduler {
     // warm/cold estimate against the die's residency. A warm die wins
     // until its backlog outweighs the cold penalty elsewhere — locality
     // that yields to load, rather than affinity's locality-at-any-cost.
+    // estimate_die_service already includes the coalescing ride discount
+    // when the die's head-of-line slot is joinable for this plan, so a
+    // matching die wins ties against an equally-loaded cold die.
     std::size_t best = 0;
     Cycles best_finish = std::numeric_limits<Cycles>::max();
     for (std::size_t d = 0; d < dies.size(); ++d) {

@@ -44,9 +44,14 @@ const std::vector<SchedulerKind>& all_scheduler_kinds();
 
 /// Per-die snapshot handed to the scheduler at each dispatch decision.
 struct DieStatus {
-  std::size_t queue_depth = 0;  ///< waiting requests (excludes the one in service)
-  bool busy = false;            ///< a request is in service right now
-  Cycles busy_until = 0;        ///< finish time of the in-service request (if busy)
+  std::size_t queue_depth = 0;  ///< waiting requests (excludes those in service)
+  bool busy = false;            ///< a service slot is running right now
+  /// Requests inside the running service slot (0 when idle; 1 when busy
+  /// with coalescing off; the group size when a coalesced slot runs).
+  /// in_flight() counts these, so a die mid-way through an 8-request slot
+  /// does not masquerade as nearly idle to load balancers.
+  std::size_t in_service_count = 0;
+  Cycles busy_until = 0;        ///< finish time of the running slot (if busy)
   /// Plan fingerprint of the last request routed to this die (0 = none yet)
   /// — the graph whose plan/cache state the die will hold once its queue
   /// drains. Graph-affinity routes on this.
@@ -54,11 +59,19 @@ struct DieStatus {
   /// Summed service estimates (made at routing time) of the requests
   /// waiting in this die's queue — the scheduler-visible backlog.
   Cycles queued_cycles_estimate = 0;
+  /// Plan fingerprint of the request at the head of this die's queue —
+  /// the plan whose service slot the next coalesced group forms around —
+  /// published only while that slot can still absorb another same-plan
+  /// request (0 when the queue is empty, coalescing is off, or the queue
+  /// already holds max_coalesce requests of the head's plan). Schedulers
+  /// that want to ride a slot (EngineConfig::batching) route same-plan
+  /// requests here.
+  std::uint64_t queue_head_fingerprint = 0;
   /// The die's cache-residency model, null when warmth is disabled
   /// (EngineConfig::warmth). Read-only for schedulers.
   const DieWarmthModel* warmth = nullptr;
 
-  std::size_t in_flight() const { return queue_depth + (busy ? 1 : 0); }
+  std::size_t in_flight() const { return queue_depth + in_service_count; }
 };
 
 /// Cluster-computed service-cost estimate handed to pick() alongside each
@@ -70,14 +83,29 @@ struct RequestEstimate {
   Cycles cold_cycles = 0;
   Cycles warm_cycles = 0;
   Cycles swap_penalty_cycles = 0;
+  /// The cluster-wide same-plan backlog behind this request: 1 + the
+  /// same-plan requests currently waiting anywhere (die queues + the
+  /// global queue), capped at EngineConfig::batching.max_coalesce. A
+  /// die-agnostic signal that coalescing opportunities exist — any one
+  /// slot drains only its own die's queue plus the global queue, so do
+  /// not scale per-die savings by this count; use it as the > 1 gate
+  /// (paired with DieStatus::queue_head_fingerprint). Always 1 with
+  /// coalescing off.
+  std::uint32_t coalesce_count = 1;
+  /// Cycles this request would save if serviced as a coalesced follower
+  /// instead of alone (batch_follower_saved_cycles; 0 with coalescing off).
+  Cycles batch_saving_cycles = 0;
 };
 
 /// Routing-time service estimate of a request on one die: the warm cost if
 /// the die's residency (or its last routed plan — it will be resident by
 /// the time the queue drains) matches, else the cold cost plus the swap
-/// penalty when the die holds some other plan's state. The cluster uses the
-/// same estimate to maintain DieStatus::queued_cycles_estimate, so the
-/// warmth-aware scheduler's predicted completions are self-consistent.
+/// penalty when the die holds some other plan's state; minus the
+/// coalescing ride discount (RequestEstimate::batch_saving_cycles) when
+/// the die's head-of-line slot is joinable for this plan. The cluster uses
+/// the same estimate to maintain DieStatus::queued_cycles_estimate, so the
+/// warmth-aware scheduler's predicted completions are self-consistent —
+/// including the ride discount.
 Cycles estimate_die_service(const DieStatus& die, const RequestEstimate& estimate);
 
 class Scheduler {

@@ -1,0 +1,405 @@
+// Tests for die-level same-plan coalescing (EngineConfig::batching): the
+// run_cost_batch slot model (batched ≤ serial by construction, singleton
+// degeneracy, validation), the coalescing cluster (group atomicity, the
+// acceptance criterion that max_coalesce = 8 strictly improves p99 and
+// makespan over serial service on a single-graph Poisson trace at 4 dies),
+// interaction with cache warmth (one residency touch per slot), coalescing
+// across a plan-cache eviction, and the warmth-aware scheduler's
+// head-of-line plan preference.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "core/serving.hpp"
+#include "datasets/synthetic.hpp"
+#include "nn/layers.hpp"
+#include "serve/cluster.hpp"
+#include "serve_test_util.hpp"
+
+namespace gnnie {
+namespace {
+
+using serve::Cluster;
+using serve::DieStatus;
+using serve::RequestEstimate;
+using serve::RequestTrace;
+using serve::Scheduler;
+using serve::SchedulerKind;
+using serve::TracedRequest;
+using test::ServeFixture;
+
+EngineConfig coalescing_config(std::uint32_t max_coalesce) {
+  EngineConfig config = EngineConfig::paper_default(false);
+  config.batching.max_coalesce = max_coalesce;
+  return config;
+}
+
+// --- The run_cost_batch slot model. ---
+
+TEST(RunCostBatch, SingletonDegeneratesToRunCostExactly) {
+  ServeFixture f;
+  const RunRequest request{f.plan_a, &f.a.features};
+  for (double fraction : {0.0, 0.5, 1.0}) {
+    const BatchCostReport batch = f.compiled.run_cost_batch({&request, 1}, fraction);
+    const Cycles solo = f.compiled.run_cost(request, fraction).total_cycles;
+    ASSERT_EQ(batch.request_cycles.size(), 1u);
+    EXPECT_EQ(batch.request_cycles[0], solo);
+    EXPECT_EQ(batch.total_cycles, solo);
+    EXPECT_EQ(batch.serial_cycles, solo);
+    EXPECT_EQ(batch.weighting_saved_cycles, 0u);
+  }
+}
+
+TEST(RunCostBatch, BatchedNeverExceedsSerialSumAndFollowersSave) {
+  ServeFixture f;
+  const RunRequest request{f.plan_a, &f.a.features};
+  for (double fraction : {0.0, 0.5, 1.0}) {
+    const Cycles solo = f.compiled.run_cost(request, fraction).total_cycles;
+    Cycles prev_total = 0;
+    for (std::size_t k = 1; k <= 5; ++k) {
+      const std::vector<RunRequest> group(k, request);
+      const BatchCostReport batch = f.compiled.run_cost_batch(group, fraction);
+      ASSERT_EQ(batch.request_cycles.size(), k);
+      // The head runs in full; every follower is charged no more than the
+      // head and the slot total never exceeds the serial sum.
+      EXPECT_EQ(batch.request_cycles[0], solo);
+      for (std::size_t i = 1; i < k; ++i) {
+        EXPECT_LE(batch.request_cycles[i], batch.request_cycles[0]);
+        EXPECT_EQ(batch.request_cycles[i], batch.request_cycles[1]);  // same work
+      }
+      EXPECT_EQ(batch.serial_cycles, solo * k);
+      EXPECT_LE(batch.total_cycles, batch.serial_cycles);
+      EXPECT_EQ(batch.weighting_saved_cycles, batch.serial_cycles - batch.total_cycles);
+      // This GCN workload has exposed weighting memory time, so followers
+      // actually save (the model is not vacuously zero) and savings grow
+      // with group size.
+      if (k >= 2) {
+        EXPECT_LT(batch.total_cycles, batch.serial_cycles) << "k=" << k;
+        EXPECT_GT(batch.total_cycles, prev_total);
+      }
+      prev_total = batch.total_cycles;
+    }
+  }
+}
+
+TEST(RunCostBatch, MixedFeaturesOfOnePlanShareTheSlot) {
+  ServeFixture f;
+  // Same plan, two distinct feature matrices: coalescing keys on the plan
+  // fingerprint, not the feature pointer.
+  DatasetSpec spec = f.a.spec;
+  SparseMatrix other_features = generate_features(spec, 99);
+  const std::vector<RunRequest> group = {{f.plan_a, &f.a.features},
+                                         {f.plan_a, &other_features},
+                                         {f.plan_a, &f.a.features}};
+  const BatchCostReport batch = f.compiled.run_cost_batch(group);
+  const Cycles cost_0 = f.compiled.run_cost(group[0]).total_cycles;
+  const Cycles cost_1 = f.compiled.run_cost(group[1]).total_cycles;
+  EXPECT_EQ(batch.serial_cycles, 2 * cost_0 + cost_1);
+  EXPECT_LT(batch.total_cycles, batch.serial_cycles);
+  EXPECT_EQ(batch.request_cycles[0], cost_0);
+}
+
+TEST(RunCostBatch, ValidatesItsArguments) {
+  ServeFixture f;
+  const RunRequest a{f.plan_a, &f.a.features};
+  const RunRequest b{f.plan_b, &f.b_features};
+  EXPECT_THROW(f.compiled.run_cost_batch({}), std::invalid_argument);
+  const std::vector<RunRequest> mixed = {a, b};
+  EXPECT_THROW(f.compiled.run_cost_batch(mixed), std::invalid_argument);
+  EXPECT_THROW(f.compiled.run_cost_batch({&a, 1}, -0.1), std::invalid_argument);
+  EXPECT_THROW(f.compiled.run_cost_batch({&a, 1}, 1.1), std::invalid_argument);
+  const RunRequest no_plan{nullptr, &f.a.features};
+  EXPECT_THROW(f.compiled.run_cost_batch({&no_plan, 1}), std::invalid_argument);
+}
+
+// --- The coalescing cluster. ---
+
+TEST(BatchingCluster, DisabledCoalescingReportsOnlySingletonSlots) {
+  ServeFixture f;  // default config: max_coalesce = 1
+  RequestTrace trace = RequestTrace::fixed_interval({f.stream_a(), f.stream_b()}, 12, 0);
+  auto sq = Scheduler::make(SchedulerKind::kShortestQueue);
+  ServingReport rep = Cluster(f.compiled, 2).simulate(trace, *sq);
+  EXPECT_EQ(rep.max_coalesce, 1u);
+  for (const RequestRecord& r : rep.requests) EXPECT_EQ(r.group_size, 1u);
+  ASSERT_EQ(rep.batch_size_counts.size(), 1u);
+  EXPECT_EQ(rep.batch_size_counts[0], 12u);
+  EXPECT_EQ(rep.total_groups(), 12u);
+  EXPECT_DOUBLE_EQ(rep.coalesce_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(rep.mean_batch_size(), 1.0);
+  EXPECT_EQ(rep.weighting_cycles_saved, 0u);
+}
+
+// The ISSUE acceptance criterion: max_coalesce = 8 on a single-graph
+// Poisson trace at 4 dies strictly improves p99 latency and makespan over
+// serial service, and no request is ever charged more than its serial cost.
+TEST(BatchingCluster, CoalescingStrictlyImprovesTailLatencyAndMakespan) {
+  ServeFixture serial_f(coalescing_config(1));
+  ServeFixture batched_f(coalescing_config(8));
+  // Identical datasets/weights per fixture (seeded), so the two compiled
+  // models price every request identically; only coalescing differs.
+  const Cycles service =
+      serial_f.compiled.run_cost({serial_f.plan_a, &serial_f.a.features}).total_cycles;
+  ASSERT_EQ(service,
+            batched_f.compiled.run_cost({batched_f.plan_a, &batched_f.a.features})
+                .total_cycles);
+  // Offered load 1.5x the 4-die capacity: queues build, so slots coalesce.
+  const double mean_gap = static_cast<double>(service) / 6.0;
+  RequestTrace serial_trace =
+      RequestTrace::poisson({serial_f.stream_a()}, 60, mean_gap, /*seed=*/11);
+  RequestTrace batched_trace =
+      RequestTrace::poisson({batched_f.stream_a()}, 60, mean_gap, /*seed=*/11);
+
+  auto sq = Scheduler::make(SchedulerKind::kShortestQueue);
+  ServingReport serial = Cluster(serial_f.compiled, 4).simulate(serial_trace, *sq);
+  ServingReport batched = Cluster(batched_f.compiled, 4).simulate(batched_trace, *sq);
+
+  EXPECT_LT(batched.p99_latency_cycles(), serial.p99_latency_cycles());
+  EXPECT_LT(batched.makespan, serial.makespan);
+  EXPECT_GT(batched.coalesce_rate(), 0.0);
+  EXPECT_GT(batched.weighting_cycles_saved, 0u);
+  EXPECT_EQ(batched.max_coalesce, 8u);
+  // Property: no coalesced request is charged more than serial service,
+  // and group sizes respect the cap.
+  for (const RequestRecord& r : batched.requests) {
+    EXPECT_LE(r.service_cycles(), service);
+    EXPECT_GE(r.group_size, 1u);
+    EXPECT_LE(r.group_size, 8u);
+  }
+}
+
+TEST(BatchingCluster, GroupsAreAtomicContiguousAndAccountedExactly) {
+  ServeFixture f(coalescing_config(4));
+  const Cycles service = f.compiled.run_cost({f.plan_a, &f.a.features}).total_cycles;
+  RequestTrace trace = RequestTrace::poisson(
+      {f.stream_a(), f.stream_b()}, 50, static_cast<double>(service) / 5.0, /*seed=*/3);
+  auto sq = Scheduler::make(SchedulerKind::kShortestQueue);
+  ServingReport rep = Cluster(f.compiled, 2).simulate(trace, *sq);
+
+  // The histogram accounts for every request exactly once.
+  std::uint64_t histogram_requests = 0;
+  for (std::size_t b = 0; b < rep.batch_size_counts.size(); ++b) {
+    EXPECT_LE(b + 1, 4u);  // cap respected
+    histogram_requests += rep.batch_size_counts[b] * (b + 1);
+  }
+  EXPECT_EQ(histogram_requests, rep.requests.size());
+  EXPECT_EQ(rep.total_groups() == rep.requests.size(), rep.coalesce_rate() == 0.0);
+
+  // Per die, service intervals never overlap (slots are atomic) and every
+  // request starts no earlier than its arrival.
+  std::map<std::size_t, std::vector<const RequestRecord*>> by_die;
+  for (const RequestRecord& r : rep.requests) {
+    EXPECT_GE(r.start, r.arrival);
+    by_die[r.die].push_back(&r);
+  }
+  for (auto& [die, records] : by_die) {
+    std::sort(records.begin(), records.end(),
+              [](const RequestRecord* a, const RequestRecord* b) {
+                return a->start < b->start;
+              });
+    for (std::size_t i = 1; i < records.size(); ++i) {
+      EXPECT_GE(records[i]->start, records[i - 1]->finish) << "die " << die;
+    }
+  }
+}
+
+TEST(BatchingCluster, FifoCoalescesFromTheGlobalQueue) {
+  ServeFixture f(coalescing_config(4));
+  // One die, zero-gap identical requests under FIFO: request 0 seats alone,
+  // the rest wait in the global queue. Each freed slot then drains its
+  // plan-mates: groups of 1, 4, then the leftover 1.
+  RequestTrace trace = RequestTrace::fixed_interval({f.stream_a()}, 6, 0);
+  auto fifo = Scheduler::make(SchedulerKind::kFifo);
+  ServingReport rep = Cluster(f.compiled, 1).simulate(trace, *fifo);
+  ASSERT_EQ(rep.requests.size(), 6u);
+  EXPECT_EQ(rep.requests[0].group_size, 1u);
+  for (std::size_t i = 1; i <= 4; ++i) EXPECT_EQ(rep.requests[i].group_size, 4u);
+  EXPECT_EQ(rep.requests[5].group_size, 1u);
+  ASSERT_EQ(rep.batch_size_counts.size(), 4u);
+  EXPECT_EQ(rep.batch_size_counts[0], 2u);
+  EXPECT_EQ(rep.batch_size_counts[3], 1u);
+  // Followers ride the slot back-to-back, and the cluster's charges are
+  // exactly the run_cost_batch slot model for the 4-group.
+  for (std::size_t i = 2; i <= 4; ++i) {
+    EXPECT_EQ(rep.requests[i].start, rep.requests[i - 1].finish);
+  }
+  const std::vector<RunRequest> slot(4, RunRequest{f.plan_a, &f.a.features});
+  const BatchCostReport model = f.compiled.run_cost_batch(slot);
+  for (std::size_t i = 1; i <= 4; ++i) {
+    EXPECT_EQ(rep.requests[i].service_cycles(), model.request_cycles[i - 1]);
+  }
+  EXPECT_EQ(rep.requests[4].finish - rep.requests[1].start, model.total_cycles);
+}
+
+TEST(BatchingCluster, CapLargerThanQueueDepthDrainsWhatIsThere) {
+  ServeFixture f(coalescing_config(100));
+  RequestTrace trace = RequestTrace::fixed_interval({f.stream_a()}, 10, 0);
+  auto fifo = Scheduler::make(SchedulerKind::kFifo);
+  ServingReport rep = Cluster(f.compiled, 1).simulate(trace, *fifo);
+  ASSERT_EQ(rep.requests.size(), 10u);
+  // Slot 1: the first arrival alone; slot 2: everything else (9 < 100).
+  EXPECT_EQ(rep.requests[0].group_size, 1u);
+  for (std::size_t i = 1; i < 10; ++i) EXPECT_EQ(rep.requests[i].group_size, 9u);
+  EXPECT_EQ(rep.total_groups(), 2u);
+}
+
+TEST(BatchingCluster, CoalescesAcrossPlanCacheEvictionByFingerprint) {
+  // plan_cache_capacity 1: replanning graph A after plan(B) evicted it
+  // yields a distinct plan object with the same structure fingerprint.
+  // Coalescing groups by fingerprint, so requests holding the old and the
+  // new plan object share a slot — and the evicted-but-in-flight plan
+  // stays valid through the whole service.
+  EngineConfig config = coalescing_config(8);
+  config.plan_cache_capacity = 1;
+  ServeFixture f(config);
+  GraphPlanPtr plan_a2 = f.compiled.plan(f.a.graph);  // A was evicted by plan(B)
+  ASSERT_NE(plan_a2.get(), f.plan_a.get());
+  ASSERT_EQ(plan_a2->fingerprint(), f.plan_a->fingerprint());
+
+  // One die, three zero-gap requests: the first seats alone; the queued
+  // old-plan and new-plan requests coalesce into one slot.
+  RequestTrace trace = RequestTrace::fixed_interval(
+      {f.stream_a(), {plan_a2, &f.a.features, 1.0}}, 3, 0);
+  auto fifo = Scheduler::make(SchedulerKind::kFifo);
+  ServingReport rep = Cluster(f.compiled, 1).simulate(trace, *fifo);
+  ASSERT_EQ(rep.requests.size(), 3u);
+  EXPECT_EQ(rep.requests[0].group_size, 1u);
+  EXPECT_EQ(rep.requests[1].group_size, 2u);  // stream 1: the evicted plan's successor
+  EXPECT_EQ(rep.requests[2].group_size, 2u);  // stream 0: the original plan object
+  EXPECT_EQ(rep.requests[2].start, rep.requests[1].finish);
+}
+
+TEST(BatchingCluster, WarmthAndCoalescingComposeWithOneTouchPerSlot) {
+  EngineConfig config = coalescing_config(8);
+  config.warmth.enabled = true;
+  config.warmth.die_budget_bytes = 48 << 10;  // holds exactly one fixture plan
+  ServeFixture f(config);
+  const InferenceReport cold = f.compiled.run_cost({f.plan_a, &f.a.features});
+  const Cycles follower_saving = batch_follower_saved_cycles(cold);
+  ASSERT_GT(follower_saving, 0u);
+
+  RequestTrace trace = RequestTrace::fixed_interval({f.stream_a()}, 5, 0);
+  auto fifo = Scheduler::make(SchedulerKind::kFifo);
+  ServingReport rep = Cluster(f.compiled, 1).simulate(trace, *fifo);
+  ASSERT_EQ(rep.requests.size(), 5u);
+  // Slot 1: the head alone, cold. Slot 2: a head that finds the plan
+  // resident (one touch) and three followers charged fully warm minus the
+  // weighting saving.
+  EXPECT_DOUBLE_EQ(rep.requests[0].warm_fraction, 0.0);
+  EXPECT_EQ(rep.requests[0].service_cycles(), cold.total_cycles);
+  const Cycles full_warm = warm_total_cycles(cold, 1.0);
+  EXPECT_DOUBLE_EQ(rep.requests[1].warm_fraction, 1.0);
+  EXPECT_EQ(rep.requests[1].service_cycles(), full_warm);
+  for (std::size_t i = 2; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(rep.requests[i].warm_fraction, 1.0);
+    EXPECT_EQ(rep.requests[i].service_cycles(), full_warm - follower_saving);
+  }
+  EXPECT_EQ(rep.total_plan_swaps(), 0u);
+  EXPECT_EQ(rep.weighting_cycles_saved, 3 * follower_saving);
+}
+
+TEST(BatchingCluster, SimulationStaysDeterministicWithCoalescing) {
+  ServeFixture f(coalescing_config(8));
+  for (SchedulerKind kind : serve::all_scheduler_kinds()) {
+    auto sched = Scheduler::make(kind);
+    Cluster cluster(f.compiled, 3);
+    RequestTrace t1 = RequestTrace::poisson({f.stream_a(), f.stream_b()}, 80, 2000.0, 17);
+    RequestTrace t2 = RequestTrace::poisson({f.stream_a(), f.stream_b()}, 80, 2000.0, 17);
+    ServingReport r1 = cluster.simulate(t1, *sched);
+    ServingReport r2 = cluster.simulate(t2, *sched);
+    ASSERT_EQ(r1.requests.size(), r2.requests.size());
+    for (std::size_t i = 0; i < r1.requests.size(); ++i) {
+      EXPECT_EQ(r1.requests[i].die, r2.requests[i].die);
+      EXPECT_EQ(r1.requests[i].start, r2.requests[i].start);
+      EXPECT_EQ(r1.requests[i].finish, r2.requests[i].finish);
+      EXPECT_EQ(r1.requests[i].group_size, r2.requests[i].group_size);
+    }
+    EXPECT_EQ(r1.batch_size_counts, r2.batch_size_counts);
+    EXPECT_EQ(r1.weighting_cycles_saved, r2.weighting_cycles_saved);
+  }
+}
+
+// --- The scheduler sees the opportunity. ---
+
+TEST(BatchingScheduler, WarmthAwarePrefersTheDieWhoseHeadOfLinePlanMatches) {
+  auto sched = Scheduler::make(SchedulerKind::kWarmthAware);
+  TracedRequest request;  // warmth-aware ignores the request itself
+  RequestEstimate est;
+  est.fingerprint = 42;
+  est.cold_cycles = 1000;
+  est.warm_cycles = 1000;
+  est.batch_saving_cycles = 200;
+
+  std::vector<DieStatus> dies(2);
+  for (DieStatus& d : dies) {
+    d.busy = true;
+    d.busy_until = 5000;
+    d.queued_cycles_estimate = 1000;
+  }
+  dies[1].queue_head_fingerprint = 42;  // this die's next slot is our plan
+
+  // Without a coalescing opportunity the tie breaks to die 0...
+  est.coalesce_count = 1;
+  EXPECT_EQ(sched->pick(request, est, dies, 0), 0u);
+  // ...with one, riding die 1's slot saves the weighting setup.
+  est.coalesce_count = 2;
+  EXPECT_EQ(sched->pick(request, est, dies, 0), 1u);
+  // A matching head-of-line never outweighs a genuinely shorter backlog.
+  dies[0].queued_cycles_estimate = 0;
+  dies[0].busy_until = 2000;
+  EXPECT_EQ(sched->pick(request, est, dies, 0), 0u);
+}
+
+TEST(BatchingScheduler, FullSlotsStopAdvertisingTheirHeadOfLinePlan) {
+  ServeFixture f(coalescing_config(2));
+  // Route everything to die 0 and record what die 0 advertised at each
+  // dispatch decision: once two same-plan requests fill the head's
+  // max_coalesce = 2 slot, a newcomer cannot ride it and the head-of-line
+  // fingerprint must stop being published.
+  struct Probe final : Scheduler {
+    mutable std::vector<std::pair<std::size_t, std::uint64_t>> seen;
+    SchedulerKind kind() const override { return SchedulerKind::kShortestQueue; }
+    std::size_t pick(const TracedRequest&, const RequestEstimate&,
+                     std::span<const DieStatus> dies, Cycles) const override {
+      seen.emplace_back(dies[0].queue_depth, dies[0].queue_head_fingerprint);
+      return 0;
+    }
+  } probe;
+  RequestTrace trace = RequestTrace::fixed_interval({f.stream_a()}, 4, 0);
+  Cluster(f.compiled, 1).simulate(trace, probe);
+  ASSERT_EQ(probe.seen.size(), 4u);
+  EXPECT_EQ(probe.seen[2].first, 1u);  // one same-plan waiter: slot open
+  EXPECT_EQ(probe.seen[2].second, f.plan_a->fingerprint());
+  EXPECT_EQ(probe.seen[3].first, 2u);  // slot full: no ride promised
+  EXPECT_EQ(probe.seen[3].second, 0u);
+}
+
+TEST(BatchingScheduler, EstimateCarriesTheClusterWideOpportunity) {
+  ServeFixture f(coalescing_config(8));
+  // Capture the estimates the cluster hands the scheduler: with a backlog
+  // of same-plan work the coalesce_count must grow past 1 and carry a
+  // positive saving, capped at max_coalesce.
+  struct Probe final : Scheduler {
+    mutable std::uint32_t max_seen = 0;
+    mutable Cycles saving_seen = 0;
+    SchedulerKind kind() const override { return SchedulerKind::kFifo; }
+    std::size_t pick(const TracedRequest&, const RequestEstimate& est,
+                     std::span<const DieStatus> dies, Cycles) const override {
+      max_seen = std::max(max_seen, est.coalesce_count);
+      saving_seen = std::max(saving_seen, est.batch_saving_cycles);
+      for (std::size_t d = 0; d < dies.size(); ++d) {
+        if (!dies[d].busy && dies[d].queue_depth == 0) return d;
+      }
+      return kDefer;
+    }
+  } probe;
+  RequestTrace trace = RequestTrace::fixed_interval({f.stream_a()}, 12, 0);
+  Cluster(f.compiled, 1).simulate(trace, probe);
+  EXPECT_GT(probe.max_seen, 1u);
+  EXPECT_LE(probe.max_seen, 8u);
+  EXPECT_GT(probe.saving_seen, 0u);
+}
+
+}  // namespace
+}  // namespace gnnie

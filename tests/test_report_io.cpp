@@ -182,6 +182,50 @@ TEST(ReportIo, ServingJsonWarmthFieldsRoundTrip) {
   EXPECT_NE(json.find("\"warm_fraction\":0,\"plan_swap\":true"), std::string::npos);
 }
 
+TEST(ReportIo, ServingJsonCoalescingDisabledKeepsLegacyShape) {
+  // A max_coalesce = 1 report (the default) carries none of the batching
+  // keys — consumers of the PR-3 shape see only additive change.
+  const std::string json = serving_report_to_json(make_serving_report());
+  for (const char* key :
+       {"\"max_coalesce\"", "\"coalesce_rate\"", "\"service_groups\"",
+        "\"mean_batch_size\"", "\"weighting_cycles_saved\"", "\"batch_size_counts\"",
+        "\"group_size\""}) {
+    EXPECT_EQ(json.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(ReportIo, ServingJsonCoalescingFieldsRoundTrip) {
+  ServingReport rep = make_serving_report();
+  rep.max_coalesce = 4;
+  rep.batch_size_counts = {1, 1};  // one singleton slot, one pair
+  rep.weighting_cycles_saved = 77;
+  rep.requests[0].group_size = 2;
+  rep.requests[1].group_size = 2;
+  const std::string json = serving_report_to_json(rep);
+  EXPECT_TRUE(json_braces_balanced(json));
+  EXPECT_NE(json.find("\"max_coalesce\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"coalesce_rate\":" + json_number(rep.coalesce_rate())),
+            std::string::npos);
+  EXPECT_NE(json.find("\"service_groups\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"mean_batch_size\":" + json_number(rep.mean_batch_size())),
+            std::string::npos);
+  EXPECT_NE(json.find("\"weighting_cycles_saved\":77"), std::string::npos);
+  EXPECT_NE(json.find("\"batch_size_counts\":[1,1]"), std::string::npos);
+  // Every record carries its group size.
+  std::size_t count = 0, pos = 0;
+  while ((pos = json.find("\"group_size\"", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, rep.requests.size());
+}
+
+TEST(ReportIo, WeightingJsonIncludesStreamByteSplit) {
+  const std::string json = report_to_json(make_report(GnnKind::kGcn));
+  EXPECT_NE(json.find("\"weight_stream_bytes\""), std::string::npos);
+  EXPECT_NE(json.find("\"dram_stream_bytes\""), std::string::npos);
+}
+
 TEST(ReportIo, AggregationJsonIncludesInputFetchBytes) {
   const std::string json = report_to_json(make_report(GnnKind::kGcn));
   EXPECT_NE(json.find("\"input_fetch_bytes\""), std::string::npos);

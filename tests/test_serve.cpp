@@ -90,6 +90,26 @@ TEST(ServeTrace, ValidatesStreams) {
   EXPECT_THROW(RequestTrace::poisson({bad_weight}, 4, 10.0, 1), std::invalid_argument);
 }
 
+TEST(ServeTrace, ZeroWeightStreamsAreRejectedEverywhere) {
+  // Weights are draw probabilities: a zero- (or negative-) weight stream is
+  // a contradiction, not "never drawn", and every constructor must reject
+  // it — including fixed_interval, which ignores weights when emitting, and
+  // including a zero-weight stream hiding among valid ones.
+  ServeFixture f;
+  TraceStream zero = f.stream_a();
+  zero.weight = 0.0;
+  TraceStream negative = f.stream_b();
+  negative.weight = -1.0;
+  EXPECT_THROW(RequestTrace::fixed_interval({f.stream_a(), zero}, 4, 10),
+               std::invalid_argument);
+  EXPECT_THROW(RequestTrace::poisson({f.stream_a(), zero}, 4, 10.0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(RequestTrace::poisson({negative}, 4, 10.0, 1), std::invalid_argument);
+  EXPECT_THROW(
+      RequestTrace::bursty({f.stream_a(), zero}, 4, 100.0, 10.0, 5.0, 5.0, 1),
+      std::invalid_argument);
+}
+
 // --- The ISSUE acceptance criterion: the degenerate cluster IS run_batch. ---
 
 TEST(ServeCluster, SingleDieFifoZeroGapReproducesRunBatchExactly) {

@@ -210,6 +210,44 @@ TEST(WarmthCluster, EvictionAndChargingAreDeterministicPerSeed) {
   }
 }
 
+// The memo-audit regression: the cluster memoizes service cost per distinct
+// (plan, features) pair, and that memo must stay warmth-INDEPENDENT — it
+// stores only the cold report, with warm_fraction-dependent discounts
+// applied per service outside the memo. If a charge (cold or warm) ever
+// leaked into the entry, every later service of the same request would be
+// charged the first service's warmth by mistake.
+TEST(WarmthCluster, MemoizedCostIsColdAndWarmFractionAppliesPerService) {
+  WarmthFixture f(tight_warmth_config());
+  const InferenceReport cold = f.compiled.run_cost({f.plan_a, &f.a.features});
+  const Cycles full_warm = warm_total_cycles(cold, 1.0);
+  ASSERT_LT(full_warm, cold.total_cycles) << "the workload must have a warm discount";
+
+  // One die, the same (plan, features) request three times, gaps wide
+  // enough that nothing queues: the first service is cold, the second and
+  // third find the plan resident. All three share one memo entry, yet the
+  // charges must differ between the cold and the warm services — and the
+  // third (memo warm after a warm hit) must match the second, not drift.
+  RequestTrace trace = RequestTrace::fixed_interval({f.stream_a()}, 3, 1u << 30);
+  auto fifo = Scheduler::make(SchedulerKind::kFifo);
+  ServingReport rep = Cluster(f.compiled, 1).simulate(trace, *fifo);
+  ASSERT_EQ(rep.requests.size(), 3u);
+  EXPECT_EQ(rep.requests[0].service_cycles(), cold.total_cycles);
+  EXPECT_EQ(rep.requests[1].service_cycles(), full_warm);
+  EXPECT_EQ(rep.requests[2].service_cycles(), full_warm);
+  EXPECT_LT(rep.requests[1].service_cycles(), rep.requests[0].service_cycles());
+
+  // The other direction of the leak: alternating plans under a one-plan
+  // budget makes every service of A cold again — the warm charge from a
+  // hit must not stick to the memo either. Stream A services here are the
+  // swap-penalized cold cost every time after the first.
+  RequestTrace alternating =
+      RequestTrace::fixed_interval({f.stream_a(), f.stream_b()}, 6, 1u << 30);
+  ServingReport alt = Cluster(f.compiled, 1).simulate(alternating, *fifo);
+  const Cycles penalty = f.engine.config().warmth.plan_swap_penalty_cycles;
+  EXPECT_EQ(alt.requests[2].service_cycles(), cold.total_cycles + penalty);
+  EXPECT_EQ(alt.requests[4].service_cycles(), cold.total_cycles + penalty);
+}
+
 // --- The PR-2 equivalence pin: warmth defaults off and changes nothing. ---
 
 TEST(WarmthCluster, DisabledWarmthKeepsSingleDieFifoZeroGapBatchEquivalence) {
