@@ -1,22 +1,29 @@
 #!/usr/bin/env python3
-"""CI perf gate over bench_serve_latency_vs_load JSON.
+"""CI perf gate over serving-bench JSON.
 
-Compares the p99 latency of a fresh bench run against the checked-in
-baseline (bench/baseline_serve.json) at one reference offered load, across
-every curve the bench emits:
+Compares a fresh bench run against its checked-in baseline at reference
+offered loads. Two report shapes are understood, detected from the JSON
+itself:
 
-  * sweep 1: the single-graph queueing knee, one curve per die count;
-  * sweep 3: the coalescing sweep, one curve per max_coalesce.
+  * bench_serve_latency_vs_load (baseline bench/baseline_serve.json):
+    gates p99 latency per curve — sweep 1's per-die-count queueing knee
+    and sweep 3's per-max_coalesce coalescing curves.
+  * bench_serve_slo_vs_cost (top-level "fleets" key; baseline
+    bench/baseline_slo.json): gates SLO attainment per fleet mix — an
+    absolute drop beyond --slo-threshold fails — plus the same relative
+    p99 check per fleet.
 
 The serving simulator is fully deterministic in modeled cycles (no
 wall-clock anywhere), so any drift is a real modeling/perf change, not
-noise; the threshold only leaves headroom for cross-libm rounding in the
-Poisson trace generator. Exits non-zero when any curve's p99 regresses by
-more than --threshold. An improvement beyond the threshold passes but is
-reported so the baseline can be refreshed:
+noise; the thresholds only leave headroom for cross-libm rounding in the
+Poisson trace generator. Exits non-zero on any regression. An improvement
+beyond the threshold passes but is reported so the baseline can be
+refreshed:
 
   ./build/bench_serve_latency_vs_load --requests=24 --scale=0.03 \
       --json=bench/baseline_serve.json
+  ./build/bench_serve_slo_vs_cost --requests=64 --scale=0.03 \
+      --json=bench/baseline_slo.json
 """
 
 import argparse
@@ -39,6 +46,10 @@ def point_at_rho(points, rho):
 
 def curves_of(report):
     """(label, points) for every gated curve in a bench JSON."""
+    if "fleets" in report:
+        for fleet in report["fleets"]:
+            yield f"fleet {fleet['mix']}", fleet["points"]
+        return
     for curve in report.get("curves", []):
         yield f"{curve['dies']} die(s)", curve["points"]
     for curve in report.get("batching", {}).get("curves", []):
@@ -51,17 +62,25 @@ def main():
     parser.add_argument("baseline", help="checked-in baseline JSON")
     parser.add_argument("--threshold", type=float, default=0.10,
                         help="max tolerated relative p99 regression (default 0.10)")
-    parser.add_argument("--rho", type=float, nargs="+", default=[0.8, 1.25],
+    parser.add_argument("--slo-threshold", type=float, default=0.02,
+                        help="max tolerated absolute SLO-attainment drop for "
+                             "fleet reports (default 0.02)")
+    parser.add_argument("--rho", type=float, nargs="+", default=None,
                         help="reference offered loads: one below the queueing "
-                             "knee and one past it, where the coalescing "
-                             "curves separate (default: 0.8 1.25)")
+                             "knee and one past it (default: 0.8 1.25, or "
+                             "0.8 1.1 for fleet reports)")
     args = parser.parse_args()
 
     current = load(args.current)
     baseline = load(args.baseline)
+    slo_report = "fleets" in current
+    rhos = args.rho if args.rho else ([0.8, 1.1] if slo_report else [0.8, 1.25])
 
-    # A comparison is only meaningful over the same trace.
-    for key in ("requests", "scale", "seed"):
+    # A comparison is only meaningful over the same trace and contract.
+    keys = ["requests", "scale", "seed"]
+    if slo_report:
+        keys += ["tight_slo_cycles", "loose_slo_cycles"]
+    for key in keys:
         if current.get(key) != baseline.get(key):
             sys.exit(
                 f"check_bench: parameter mismatch on '{key}': current "
@@ -75,12 +94,13 @@ def main():
     if missing or dropped:
         sys.exit(f"check_bench: curve sets differ (current-only: {missing or '-'}; "
                  f"baseline-only: {dropped or '-'}) — the bench's curve set "
-                 "changed; refresh bench/baseline_serve.json so every curve "
-                 "stays gated")
+                 "changed; refresh the baseline so every curve stays gated")
     regressions = []
     improvements = []
-    for rho in args.rho:
-        print(f"p99 latency at rho ~ {rho} (threshold {args.threshold:.0%}):")
+    for rho in rhos:
+        print(f"gate at rho ~ {rho} (p99 threshold {args.threshold:.0%}"
+              + (f", attainment threshold {args.slo_threshold:.1%} absolute"
+                 if slo_report else "") + "):")
         for label, points in curves_of(current):
             cur_point = point_at_rho(points, rho)
             base_point = point_at_rho(base_curves[label], rho)
@@ -93,21 +113,36 @@ def main():
             base = base_point["p99_latency_cycles"]
             delta = (cur - base) / base if base else 0.0
             verdict = "OK"
-            tag = f"{label} @ rho {rho}"
+            tag = f"{label} p99 @ rho {rho}"
             if delta > args.threshold:
                 verdict = "REGRESSION"
                 regressions.append(tag)
             elif delta < -args.threshold:
                 verdict = "improved"
                 improvements.append(tag)
-            print(f"  {label:>20}: baseline {base:>10} cycles, current {cur:>10} "
-                  f"cycles ({delta:+.1%}) {verdict}")
+            print(f"  {label:>20}: baseline p99 {base:>10} cycles, current "
+                  f"{cur:>10} cycles ({delta:+.1%}) {verdict}")
+            if not slo_report:
+                continue
+            cur_att = cur_point["slo_attainment"]
+            base_att = base_point["slo_attainment"]
+            drop = base_att - cur_att
+            verdict = "OK"
+            tag = f"{label} attainment @ rho {rho}"
+            if drop > args.slo_threshold:
+                verdict = "REGRESSION"
+                regressions.append(tag)
+            elif drop < -args.slo_threshold:
+                verdict = "improved"
+                improvements.append(tag)
+            print(f"  {label:>20}: baseline attainment {base_att:>7.1%}, current "
+                  f"{cur_att:>7.1%} ({-drop:+.1%} absolute) {verdict}")
 
     if improvements:
         print(f"note: {len(improvements)} curve(s) improved past the threshold — "
-              "consider refreshing bench/baseline_serve.json")
+              "consider refreshing the baseline")
     if regressions:
-        print(f"FAIL: p99 regressed >{args.threshold:.0%} on: {', '.join(regressions)}")
+        print(f"FAIL: regressed on: {', '.join(regressions)}")
         return 1
     print("perf gate passed")
     return 0

@@ -11,6 +11,31 @@ EngineConfig EngineConfig::paper_default(bool large_dataset) {
   return c;
 }
 
+EngineConfig EngineConfig::design_point(char letter, bool large_dataset) {
+  EngineConfig c = paper_default(large_dataset);
+  switch (letter) {
+    case 'A':
+      c.array = ArrayConfig::design_a();
+      break;
+    case 'B':
+      c.array = ArrayConfig::design_b();
+      break;
+    case 'C':
+      c.array = ArrayConfig::design_c();
+      break;
+    case 'D':
+      c.array = ArrayConfig::design_d();
+      break;
+    case 'E':
+      c.array = ArrayConfig::design_e();
+      break;
+    default:
+      GNNIE_REQUIRE(false, "design point letter must be in 'A'..'E'");
+  }
+  c.validate();
+  return c;
+}
+
 double EngineConfig::peak_tops() const {
   return 2.0 * static_cast<double>(array.total_macs()) * clock_hz / 1e12;
 }

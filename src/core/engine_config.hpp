@@ -134,6 +134,11 @@ struct EngineConfig {
   /// Paper configuration for a dataset size (§VIII-A input buffer rule).
   static EngineConfig paper_default(bool large_dataset);
 
+  /// paper_default with the PE array swapped for one of the evaluated design
+  /// points ('A'..'E', the fig13/fig17 design space). Heterogeneous serving
+  /// fleets (serve/fleet.hpp) mix these per die.
+  static EngineConfig design_point(char letter, bool large_dataset);
+
   /// Peak TOPS of the configured array with the 1 MAC = 2 ops convention
   /// (Table IV "Peak").
   double peak_tops() const;

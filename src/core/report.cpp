@@ -25,9 +25,14 @@ Cycles percentile_of_sorted(const std::vector<Cycles>& sorted, double pct) {
 }
 
 std::vector<Cycles> ServingReport::sorted_latencies() const {
+  // Shed requests never completed — they have no end-to-end latency, and
+  // with aggressive shedding a whole class (or the whole trace) can be shed,
+  // leaving an empty sample; percentile_of_sorted returns 0 for those.
   std::vector<Cycles> latencies;
   latencies.reserve(requests.size());
-  for (const RequestRecord& r : requests) latencies.push_back(r.latency_cycles());
+  for (const RequestRecord& r : requests) {
+    if (!r.shed) latencies.push_back(r.latency_cycles());
+  }
   std::sort(latencies.begin(), latencies.end());
   return latencies;
 }
@@ -52,15 +57,18 @@ double ServingReport::die_utilization(std::size_t die) const {
 }
 
 double ServingReport::throughput_per_second() const {
-  if (requests.empty() || makespan == 0 || clock_hz <= 0.0) return 0.0;
-  return static_cast<double>(requests.size()) / makespan_seconds();
+  // Shed requests were never served, so they are not throughput.
+  const std::uint64_t completed = completed_count();
+  if (completed == 0 || makespan == 0 || clock_hz <= 0.0) return 0.0;
+  return static_cast<double>(completed) / makespan_seconds();
 }
 
 double ServingReport::warm_hit_rate() const {
-  if (requests.empty()) return 0.0;
+  const std::uint64_t completed = completed_count();
+  if (completed == 0) return 0.0;
   std::uint64_t hits = 0;
   for (const RequestRecord& r : requests) hits += r.warm_hit() ? 1 : 0;
-  return static_cast<double>(hits) / static_cast<double>(requests.size());
+  return static_cast<double>(hits) / static_cast<double>(completed);
 }
 
 double ServingReport::die_warm_hit_rate(std::size_t die) const {
@@ -82,9 +90,10 @@ Cycles class_latency_percentile(const std::vector<RequestRecord>& requests, bool
                                 double pct) {
   std::vector<Cycles> latencies;
   for (const RequestRecord& r : requests) {
-    if (r.warm_hit() == warm) latencies.push_back(r.latency_cycles());
+    if (!r.shed && r.warm_hit() == warm) latencies.push_back(r.latency_cycles());
   }
   std::sort(latencies.begin(), latencies.end());
+  // Shedding can empty a whole class; percentile_of_sorted returns 0 then.
   return percentile_of_sorted(latencies, pct);
 }
 
@@ -105,16 +114,71 @@ std::uint64_t ServingReport::total_groups() const {
 }
 
 double ServingReport::coalesce_rate() const {
-  if (requests.empty()) return 0.0;
+  const std::uint64_t completed = completed_count();
+  if (completed == 0) return 0.0;
   std::uint64_t coalesced = 0;
   for (const RequestRecord& r : requests) coalesced += r.group_size > 1 ? 1 : 0;
-  return static_cast<double>(coalesced) / static_cast<double>(requests.size());
+  return static_cast<double>(coalesced) / static_cast<double>(completed);
 }
 
 double ServingReport::mean_batch_size() const {
   const std::uint64_t groups = total_groups();
-  if (groups == 0) return requests.empty() ? 0.0 : 1.0;
-  return static_cast<double>(requests.size()) / static_cast<double>(groups);
+  if (groups == 0) return completed_count() == 0 ? 0.0 : 1.0;
+  return static_cast<double>(completed_count()) / static_cast<double>(groups);
+}
+
+// ---------------------------------------------------------------------------
+// SLO accounting
+
+std::uint64_t ServingReport::shed_count() const {
+  std::uint64_t shed = 0;
+  for (const RequestRecord& r : requests) shed += r.shed ? 1 : 0;
+  return shed;
+}
+
+std::uint64_t ServingReport::completed_count() const {
+  return requests.size() - shed_count();
+}
+
+std::uint64_t ServingReport::slo_request_count() const {
+  std::uint64_t n = 0;
+  for (const RequestRecord& r : requests) n += r.has_slo() ? 1 : 0;
+  return n;
+}
+
+std::uint64_t ServingReport::slo_met_count() const {
+  std::uint64_t n = 0;
+  for (const RequestRecord& r : requests) n += r.slo_met() ? 1 : 0;
+  return n;
+}
+
+double ServingReport::slo_attainment() const {
+  const std::uint64_t with_slo = slo_request_count();
+  if (with_slo == 0) return 1.0;  // vacuously met
+  return static_cast<double>(slo_met_count()) / static_cast<double>(with_slo);
+}
+
+double ServingReport::stream_slo_attainment(std::size_t stream) const {
+  std::uint64_t with_slo = 0, met = 0;
+  for (const RequestRecord& r : requests) {
+    if (r.stream != stream || !r.has_slo()) continue;
+    ++with_slo;
+    met += r.slo_met() ? 1 : 0;
+  }
+  if (with_slo == 0) return 1.0;
+  return static_cast<double>(met) / static_cast<double>(with_slo);
+}
+
+double ServingReport::die_slo_attainment(std::size_t die) const {
+  GNNIE_REQUIRE(die < dies, "die index out of range");
+  std::uint64_t with_slo = 0, met = 0;
+  for (const RequestRecord& r : requests) {
+    if (r.shed || r.die != die || !r.has_slo()) continue;
+    ++with_slo;
+    met += r.slo_met() ? 1 : 0;
+  }
+  if (with_slo == 0) return 1.0;
+  return static_cast<double>(met) / static_cast<double>(with_slo);
 }
 
 // ---------------------------------------------------------------------------

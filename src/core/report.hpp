@@ -87,6 +87,12 @@ struct RequestRecord {
   /// Size of the coalesced same-plan group this request was serviced in
   /// (1 = alone in its slot; always 1 when coalescing is off).
   std::uint32_t group_size = 1;
+  /// Absolute deadline stamped by the trace (0 = no SLO on this request).
+  Cycles deadline = 0;
+  /// The admission policy shed this request instead of servicing it. Shed
+  /// records carry start == finish == the shed time and no die attribution;
+  /// latency rollups skip them (they never completed).
+  bool shed = false;
 
   Cycles service_cycles() const { return finish - start; }
   Cycles queue_cycles() const { return start - arrival; }
@@ -94,6 +100,10 @@ struct RequestRecord {
   Cycles latency_cycles() const { return finish - arrival; }
   /// Any of the plan's working set was resident at service start.
   bool warm_hit() const { return warm_fraction > 0.0; }
+  bool has_slo() const { return deadline != 0; }
+  /// Completed at or before its deadline (shed or deadline-free requests
+  /// never count as met).
+  bool slo_met() const { return has_slo() && !shed && finish <= deadline; }
 };
 
 /// Aggregate of one serve::Cluster::simulate() call: per-request records in
@@ -123,6 +133,18 @@ struct ServingReport {
   std::uint32_t max_coalesce = 1;
   std::vector<std::uint64_t> batch_size_counts;
   Cycles weighting_cycles_saved = 0;
+  /// SLO state of the run that produced this report: true iff the trace
+  /// carried any deadline. When false every record's deadline is 0, nothing
+  /// is shed, and the JSON keeps the schema-version-1 shape.
+  bool slo_enabled = false;
+  /// Stream count of the trace (index bound for stream_slo_attainment).
+  std::size_t streams = 0;
+  /// Heterogeneous-fleet state (serve/fleet.hpp): false for the classic
+  /// N-identical-dies cluster. When true, die_labels names each die's
+  /// design point and fleet_cost is the FleetSpec's summed cost.
+  bool heterogeneous = false;
+  double fleet_cost = 0.0;
+  std::vector<std::string> die_labels;  ///< per-die design label (fleet runs)
 
   /// Nearest-rank latency percentile over all requests; pct in (0, 100].
   /// Sorts per call — batch callers should sort once (sorted_latencies)
@@ -157,6 +179,27 @@ struct ServingReport {
   /// only; 0 when no request falls in the class.
   Cycles warm_latency_percentile(double pct) const;
   Cycles cold_latency_percentile(double pct) const;
+
+  // SLO accounting (all computed from the records, so hand-built reports
+  // work too). Shed requests count toward attainment denominators — a shed
+  // deadline is a missed deadline — but never toward latency percentiles.
+  /// Requests the admission policy shed instead of servicing.
+  std::uint64_t shed_count() const;
+  /// Requests actually serviced (size() − shed_count()).
+  std::uint64_t completed_count() const;
+  /// Requests carrying a deadline (shed or not).
+  std::uint64_t slo_request_count() const;
+  /// Deadline-carrying requests that finished at or before their deadline.
+  std::uint64_t slo_met_count() const;
+  /// slo_met_count / slo_request_count; 1.0 when no request had a deadline
+  /// (an empty contract is vacuously met).
+  double slo_attainment() const;
+  /// Attainment over one trace stream's requests (1.0 when the stream had
+  /// no deadline-carrying requests).
+  double stream_slo_attainment(std::size_t stream) const;
+  /// Attainment over the requests serviced on one die. Shed requests are
+  /// never attributed to a die, so this is service quality, not admission.
+  double die_slo_attainment(std::size_t die) const;
 
   /// Service slots executed (Σ batch_size_counts; == request count when
   /// coalescing is off).

@@ -81,7 +81,13 @@ std::string report_to_json(const InferenceReport& report) {
 
 void write_serving_report_json(std::ostream& out, const ServingReport& report) {
   const std::vector<Cycles> latencies = report.sorted_latencies();  // sort once
-  out << "{\"dies\":" << report.dies << ",\"scheduler\":\"" << report.scheduler
+  // Version 1 is the pre-SLO shape plus this version field; version 2 adds
+  // the fleet/SLO blocks and the per-record deadline/shed fields. Reports
+  // with SLOs disabled on a homogeneous cluster stay version 1, so existing
+  // consumers keep parsing unchanged output.
+  const int schema_version = report.slo_enabled || report.heterogeneous ? 2 : 1;
+  out << "{\"schema_version\":" << schema_version << ",\"dies\":" << report.dies
+      << ",\"scheduler\":\"" << report.scheduler
       << "\",\"requests\":" << report.requests.size() << ",\"clock_hz\":" << report.clock_hz
       << ",\"makespan_cycles\":" << report.makespan
       << ",\"makespan_seconds\":" << report.makespan_seconds()
@@ -94,7 +100,17 @@ void write_serving_report_json(std::ostream& out, const ServingReport& report) {
   for (std::size_t d = 0; d < report.die_busy_cycles.size(); ++d) {
     out << (d == 0 ? "" : ",") << report.die_utilization(d);
   }
-  out << "],\"warmth_enabled\":" << (report.warmth_enabled ? "true" : "false");
+  out << "]";
+  if (report.heterogeneous) {
+    // Fleet rollup: the lineup's provisioning cost and each die's config
+    // label (serve/fleet.hpp). Homogeneous reports keep the version-1 shape.
+    out << ",\"fleet_cost\":" << report.fleet_cost << ",\"die_labels\":[";
+    for (std::size_t d = 0; d < report.die_labels.size(); ++d) {
+      out << (d == 0 ? "" : ",") << '"' << report.die_labels[d] << '"';
+    }
+    out << "]";
+  }
+  out << ",\"warmth_enabled\":" << (report.warmth_enabled ? "true" : "false");
   if (report.warmth_enabled) {
     // Warmth rollup: hit rates, swap counts, and the warm/cold latency
     // split. Emitted only when the model ran, so warmth-disabled reports
@@ -129,6 +145,23 @@ void write_serving_report_json(std::ostream& out, const ServingReport& report) {
     }
     out << "]";
   }
+  if (report.slo_enabled) {
+    // SLO rollup: attainment overall, per stream, and per die, plus the
+    // shed counter (serve/slo.hpp). Emitted only for deadline-carrying
+    // traces, so SLO-less reports keep the version-1 shape.
+    out << ",\"shed_requests\":" << report.shed_count()
+        << ",\"slo_requests\":" << report.slo_request_count()
+        << ",\"slo_attainment\":" << report.slo_attainment()
+        << ",\"stream_slo_attainment\":[";
+    for (std::size_t s = 0; s < report.streams; ++s) {
+      out << (s == 0 ? "" : ",") << report.stream_slo_attainment(s);
+    }
+    out << "],\"die_slo_attainment\":[";
+    for (std::size_t d = 0; d < report.dies; ++d) {
+      out << (d == 0 ? "" : ",") << report.die_slo_attainment(d);
+    }
+    out << "]";
+  }
   out << ",\"records\":[";
   for (std::size_t i = 0; i < report.requests.size(); ++i) {
     const RequestRecord& r = report.requests[i];
@@ -141,6 +174,12 @@ void write_serving_report_json(std::ostream& out, const ServingReport& report) {
     }
     if (report.max_coalesce > 1) {
       out << ",\"group_size\":" << r.group_size;
+    }
+    if (report.slo_enabled) {
+      // deadline 0 = this request carries no SLO. A shed record's start and
+      // finish both hold the shed time and its die is unattributed (0).
+      out << ",\"deadline\":" << r.deadline
+          << ",\"shed\":" << (r.shed ? "true" : "false");
     }
     out << "}";
   }

@@ -1,9 +1,11 @@
 #include "serve/cluster.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 #include <limits>
 #include <map>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -15,6 +17,34 @@ namespace gnnie::serve {
 Cluster::Cluster(CompiledModel model, std::size_t dies)
     : model_(std::move(model)), die_count_(dies) {
   GNNIE_REQUIRE(dies >= 1, "a cluster needs at least one die");
+  // Bookkeeping only: the homogeneous constructor never compiles per-config
+  // models — simulate() uses model_ and the requests' own plans directly.
+  spec_ = FleetSpec::homogeneous(model_.config(), dies);
+  die_config_.assign(dies, 0);
+  config_scale_.assign(1, 1.0);
+}
+
+Cluster::Cluster(const CompiledModel& reference, FleetSpec spec)
+    : model_(reference), die_count_(spec.die_count()), spec_(std::move(spec)) {
+  spec_.validate();
+  const EngineConfig& ref = model_.config();
+  config_models_.reserve(spec_.configs.size());
+  config_scale_.reserve(spec_.configs.size());
+  for (const FleetDieConfig& cfg : spec_.configs) {
+    // Warmth enablement and the coalescing width are serving-protocol
+    // knobs, not die properties — a fleet mixing them would change what a
+    // "service slot" means per die and silently skew comparisons.
+    GNNIE_REQUIRE(cfg.engine.warmth.enabled == ref.warmth.enabled,
+                  "fleet configs must match the reference warmth enablement");
+    GNNIE_REQUIRE(cfg.engine.batching.max_coalesce == ref.batching.max_coalesce,
+                  "fleet configs must match the reference max_coalesce");
+    config_models_.push_back(Engine(cfg.engine).compile(model_.model(), model_.weights()));
+    config_scale_.push_back(ref.clock_hz / cfg.engine.clock_hz);
+  }
+  die_config_ = spec_.assignment;
+  for (std::size_t c : die_config_) {
+    if (c != die_config_.front()) heterogeneous_ = true;
+  }
 }
 
 namespace {
@@ -33,13 +63,20 @@ struct DieState {
   Cycles busy_until = 0;
 };
 
-/// Memoized per-(plan, features) service data. Everything in here is
-/// WARMTH-INDEPENDENT by design: the memo stores the cold report (and
-/// values derived from it alone), never a warm-discounted charge — warm
-/// fractions vary per service and are applied outside the memo
+/// Memoized per-(die config, plan, features) service data. Everything in
+/// here is WARMTH-INDEPENDENT by design: the memo stores the cold report
+/// (and values derived from it alone), never a warm-discounted charge —
+/// warm fractions vary per service and are applied outside the memo
 /// (warm_total_cycles at service start), so warm and cold services of the
 /// same request are charged differently even though they share this entry.
+/// All cycles are in the CONFIG'S OWN clock domain — callers scale into
+/// reference cycles at charge/estimate time.
 struct CostEntry {
+  /// The plan the costed run used: the request's own plan on a homogeneous
+  /// cluster, the per-config re-plan of its graph on a fleet (held here so
+  /// a fleet's plans outlive the plan cache).
+  GraphPlanPtr plan;
+  Bytes working_set = 0;        ///< plan->warm_working_set_bytes()
   InferenceReport cold_report;  ///< empty when warmth is disabled
   Cycles cold = 0;
   Cycles warm_full = 0;  ///< cold minus the full warm discount (== cold when disabled)
@@ -52,9 +89,19 @@ struct CostEntry {
 
 ServingReport Cluster::simulate(const RequestTrace& trace,
                                 const Scheduler& scheduler) const {
+  return simulate(trace, scheduler, AdmissionPolicy::admit_all());
+}
+
+ServingReport Cluster::simulate(const RequestTrace& trace, const Scheduler& scheduler,
+                                const AdmissionPolicy& admission) const {
   const EngineConfig& config = model_.config();
   const WarmthConfig& wcfg = config.warmth;
   const std::uint32_t max_coalesce = config.batching.max_coalesce;
+  // Fleet mode: per-config compiled models exist; the homogeneous
+  // constructor leaves the vector empty and everything below costs against
+  // model_ with scale 1.0 — bit-exact with the fleet-unaware simulator.
+  const bool fleet = !config_models_.empty();
+  const std::size_t config_count = fleet ? spec_.configs.size() : 1;
 
   ServingReport report;
   report.dies = die_count_;
@@ -66,27 +113,62 @@ ServingReport Cluster::simulate(const RequestTrace& trace,
   report.die_warm_hits.assign(die_count_, 0);
   report.die_plan_swaps.assign(die_count_, 0);
   report.max_coalesce = max_coalesce;
+  report.slo_enabled = trace.has_slo();
+  report.streams = trace.stream_count();
+  report.heterogeneous = heterogeneous_;
+  report.fleet_cost = spec_.total_cost();
+  report.die_labels.reserve(die_count_);
+  for (std::size_t d = 0; d < die_count_; ++d) {
+    report.die_labels.push_back(spec_.configs[die_config_[d]].label);
+  }
   report.requests.resize(trace.size());
 
   const std::vector<TracedRequest>& arrivals = trace.requests();
   for (std::size_t i = 0; i < arrivals.size(); ++i) {
     report.requests[i].stream = arrivals[i].stream;
     report.requests[i].arrival = arrivals[i].arrival;
+    report.requests[i].deadline = arrivals[i].deadline;
   }
 
-  // Service cost per distinct (plan, features) pair. Runs are stateless, so
-  // the memo is exact; open-loop traces repeat stream requests constantly.
-  // Warmth only rescales the memoized cold report analytically
-  // (apply_warmth_discount), so no re-simulation happens per warm fraction.
-  std::map<std::pair<const void*, const void*>, CostEntry> service_memo;
-  auto cost_of = [&](std::size_t idx) -> const CostEntry& {
+  // Config-native cycles → reference virtual cycles. The == 1.0 fast path
+  // is a guarantee, not an optimization: equal clocks must not round.
+  auto scale_cycles = [&](Cycles cycles, std::size_t cfg) -> Cycles {
+    const double s = config_scale_[cfg];
+    if (s == 1.0) return cycles;
+    return static_cast<Cycles>(std::llround(static_cast<double>(cycles) * s));
+  };
+  auto config_engine = [&](std::size_t cfg) -> const EngineConfig& {
+    return fleet ? spec_.configs[cfg].engine : config;
+  };
+
+  // Service cost per distinct (config, plan, features) triple. Runs are
+  // stateless, so the memo is exact; open-loop traces repeat stream
+  // requests constantly. Warmth only rescales the memoized cold report
+  // analytically (apply_warmth_discount), so no re-simulation happens per
+  // warm fraction. On a fleet the request's graph is re-planned per config
+  // (deterministic, so structurally identical plans with the same
+  // fingerprint) and costed on that config's compiled model.
+  std::map<std::tuple<std::size_t, const void*, const void*>, CostEntry> service_memo;
+  auto cost_of = [&](std::size_t cfg, std::size_t idx) -> const CostEntry& {
     const RunRequest& request = arrivals[idx].request;
-    const auto key = std::make_pair(static_cast<const void*>(request.plan.get()),
-                                    static_cast<const void*>(request.features));
+    const auto key =
+        std::make_tuple(cfg, static_cast<const void*>(request.plan.get()),
+                        static_cast<const void*>(request.features));
     auto it = service_memo.find(key);
     if (it == service_memo.end()) {
       CostEntry entry;
-      InferenceReport cold = model_.run_cost(request);
+      RunRequest routed = request;
+      if (fleet) {
+        // Sampling is fresh per plan() call, so a per-config re-plan could
+        // not reproduce the request's sampled adjacencies.
+        GNNIE_REQUIRE(request.plan->sampled_layer_count() == 0,
+                      "sampled (GraphSAGE) plans are not supported on fleet clusters");
+        routed.plan = config_models_[cfg].plan(request.plan->graph());
+      }
+      entry.plan = routed.plan;
+      entry.working_set = routed.plan->warm_working_set_bytes();
+      InferenceReport cold =
+          (fleet ? config_models_[cfg] : model_).run_cost(routed);
       entry.cold = cold.total_cycles;
       entry.warm_full = wcfg.enabled ? warm_total_cycles(cold, 1.0) : cold.total_cycles;
       entry.follower_saving = max_coalesce > 1 ? batch_follower_saved_cycles(cold) : 0;
@@ -112,25 +194,49 @@ ServingReport Cluster::simulate(const RequestTrace& trace,
     for (std::size_t idx : deferred) n += fingerprint_of(idx) == fp ? 1 : 0;
     return n;
   };
-  auto estimate_of = [&](std::size_t idx) -> RequestEstimate {
-    const CostEntry& cost = cost_of(idx);
-    RequestEstimate est;
-    est.fingerprint = fingerprint_of(idx);
-    est.working_set_bytes = arrivals[idx].request.plan->warm_working_set_bytes();
-    est.cold_cycles = cost.cold;
-    est.warm_cycles = wcfg.enabled ? cost.warm_full : cost.cold;
-    est.swap_penalty_cycles = wcfg.enabled ? wcfg.plan_swap_penalty_cycles : 0;
-    if (max_coalesce > 1) {
-      est.coalesce_count = static_cast<std::uint32_t>(std::min<std::size_t>(
-          max_coalesce, 1 + waiting_same_plan(est.fingerprint)));
-      est.batch_saving_cycles = cost.follower_saving;
+  // The per-(die, request) estimate vector handed to pick()/shed(): one
+  // entry per distinct config, copied out per die (identical entries on a
+  // homogeneous cluster). Scratch buffers reused across offers.
+  std::vector<RequestEstimate> die_estimates(die_count_);
+  std::vector<RequestEstimate> config_estimates(config_count);
+  std::vector<char> config_ready(config_count, 0);
+  auto estimates_of = [&](std::size_t idx) -> const std::vector<RequestEstimate>& {
+    const std::uint64_t fp = fingerprint_of(idx);
+    const std::uint32_t coalesce_count =
+        max_coalesce > 1 ? static_cast<std::uint32_t>(std::min<std::size_t>(
+                               max_coalesce, 1 + waiting_same_plan(fp)))
+                         : 1;
+    std::fill(config_ready.begin(), config_ready.end(), 0);
+    for (std::size_t d = 0; d < die_count_; ++d) {
+      const std::size_t cfg = die_config_[d];
+      if (!config_ready[cfg]) {
+        const CostEntry& cost = cost_of(cfg, idx);
+        RequestEstimate est;
+        est.fingerprint = fp;
+        est.working_set_bytes = cost.working_set;
+        est.cold_cycles = scale_cycles(cost.cold, cfg);
+        est.warm_cycles = wcfg.enabled ? scale_cycles(cost.warm_full, cfg) : est.cold_cycles;
+        est.swap_penalty_cycles =
+            wcfg.enabled
+                ? scale_cycles(config_engine(cfg).warmth.plan_swap_penalty_cycles, cfg)
+                : 0;
+        est.coalesce_count = coalesce_count;
+        est.batch_saving_cycles =
+            max_coalesce > 1 ? scale_cycles(cost.follower_saving, cfg) : 0;
+        config_estimates[cfg] = est;
+        config_ready[cfg] = 1;
+      }
+      die_estimates[d] = config_estimates[cfg];
     }
-    return est;
+    return die_estimates;
   };
 
   std::vector<DieWarmthModel> warmth;
   if (wcfg.enabled) {
-    warmth.assign(die_count_, DieWarmthModel(config.warmth_die_budget()));
+    warmth.reserve(die_count_);
+    for (std::size_t d = 0; d < die_count_; ++d) {
+      warmth.emplace_back(config_engine(die_config_[d]).warmth_die_budget());
+    }
     for (std::size_t d = 0; d < die_count_; ++d) status[d].warmth = &warmth[d];
   }
   // Routing-time service estimate of each queued request, so the die's
@@ -162,6 +268,8 @@ ServingReport Cluster::simulate(const RequestTrace& trace,
   // busy until every member drains, warmth residency is touched once, and
   // followers are charged with their weighting setup amortized away.
   auto start_service = [&](std::size_t d, std::size_t head, Cycles now) {
+    const std::size_t cfg = die_config_[d];
+    const WarmthConfig& die_wcfg = config_engine(cfg).warmth;
     const std::uint64_t fp = fingerprint_of(head);
     std::vector<std::size_t> group = {head};
     if (max_coalesce > 1) {
@@ -197,24 +305,26 @@ ServingReport Cluster::simulate(const RequestTrace& trace,
     double follower_fraction = 0.0;
     bool swapped = false;
     if (wcfg.enabled) {
-      const GraphPlanPtr& plan = arrivals[head].request.plan;
-      const DieWarmthModel::Touch touch =
-          warmth[d].touch(fp, plan->warm_working_set_bytes());
+      const Bytes working_set = cost_of(cfg, head).working_set;
+      const DieWarmthModel::Touch touch = warmth[d].touch(fp, working_set);
       head_fraction = touch.warm_fraction;
-      follower_fraction = warmth[d].warm_fraction(fp, plan->warm_working_set_bytes());
+      follower_fraction = warmth[d].warm_fraction(fp, working_set);
       swapped = touch.swapped;
     }
 
     Cycles at = now;
     for (std::size_t i = 0; i < group.size(); ++i) {
       const std::size_t idx = group[i];
-      const CostEntry& cost = cost_of(idx);
+      const CostEntry& cost = cost_of(cfg, idx);
       RequestRecord& rec = report.requests[idx];
+      // Charged in the config's own clock domain, scaled into reference
+      // cycles only once fully assembled (warmth discount, swap penalty,
+      // and follower saving are all config-native quantities).
       Cycles service = cost.cold;
       if (wcfg.enabled) {
         const double fraction = i == 0 ? head_fraction : follower_fraction;
         service = warm_total_cycles(cost.cold_report, fraction);
-        if (i == 0 && swapped) service += wcfg.plan_swap_penalty_cycles;
+        if (i == 0 && swapped) service += die_wcfg.plan_swap_penalty_cycles;
         rec.warm_fraction = fraction;
         rec.plan_swap = i == 0 && swapped;
         report.die_warm_hits[d] += fraction > 0.0 ? 1 : 0;
@@ -227,13 +337,13 @@ ServingReport Cluster::simulate(const RequestTrace& trace,
         // stages, the warmth discount aggregation stages — disjoint.
         const Cycles charged =
             batch_member_charge(service, cost.follower_saving, /*follower=*/true);
-        report.weighting_cycles_saved += service - charged;
+        report.weighting_cycles_saved += scale_cycles(service - charged, cfg);
         service = charged;
       }
       ++report.die_requests[d];
       rec.die = d;
       rec.start = at;
-      rec.finish = at + service;
+      rec.finish = at + scale_cycles(service, cfg);
       rec.group_size = static_cast<std::uint32_t>(group.size());
       at = rec.finish;
     }
@@ -272,12 +382,24 @@ ServingReport Cluster::simulate(const RequestTrace& trace,
     }
   };
 
+  // True → the request is consumed: routed to a die, or shed. False → the
+  // scheduler deferred it to the global queue.
   auto offer = [&](std::size_t idx, Cycles now) -> bool {
-    const RequestEstimate est = estimate_of(idx);
-    const std::size_t d = scheduler.pick(arrivals[idx], est, status, now);
+    const std::vector<RequestEstimate>& ests = estimates_of(idx);
+    if (admission.shed(arrivals[idx], ests, status, now)) {
+      // Terminal: recorded at the shed time with no service and no die
+      // attribution; counts as a missed deadline, never as latency.
+      RequestRecord& rec = report.requests[idx];
+      rec.shed = true;
+      rec.start = now;
+      rec.finish = now;
+      ++completed;
+      return true;
+    }
+    const std::size_t d = scheduler.pick(arrivals[idx], ests, status, now);
     if (d == Scheduler::kDefer) return false;
     GNNIE_REQUIRE(d < die_count_, "scheduler picked a die outside the cluster");
-    enqueue_on_die(d, idx, est, now);
+    enqueue_on_die(d, idx, ests[d], now);
     return true;
   };
 

@@ -14,18 +14,18 @@
 // arrival). On arrival the Scheduler routes the request to a die queue or
 // defers it to the global arrival-order queue; on completion the die first
 // drains its own queue, then deferred requests are re-offered in arrival
-// order. Everything is deterministic: a (trace, scheduler, die count)
-// triple always produces the identical ServingReport.
+// order. Everything is deterministic: a (trace, scheduler, admission,
+// fleet) tuple always produces the identical ServingReport.
 //
 // Degenerate case, by design: one die + FIFO + a zero-gap trace reproduces
 // CompiledModel::run_batch exactly — same per-request cycle counts, and a
 // makespan equal to BatchReport::total_cycles.
 //
-// Service costs are memoized per distinct (plan, features) pair — open-loop
-// traces repeat the same stream request many times, and re-simulating a
-// bit-identical run to rediscover its cycle count would dominate the
-// simulation. The memo is exact, not an approximation, because runs are
-// stateless.
+// Service costs are memoized per distinct (die config, plan, features)
+// triple — open-loop traces repeat the same stream request many times, and
+// re-simulating a bit-identical run to rediscover its cycle count would
+// dominate the simulation. The memo is exact, not an approximation, because
+// runs are stateless.
 //
 // Cache warmth (EngineConfig::warmth, default off): each die carries a
 // DieWarmthModel — a bounded LRU residency set of plan working sets
@@ -51,6 +51,30 @@
 // report gains the batch-size histogram, coalesce rate, and the
 // weighting-setup cycles saved. With max_coalesce = 1 every slot holds one
 // request — bit-exact with the uncoalesced simulator.
+//
+// Heterogeneous fleets (serve/fleet.hpp): the FleetSpec constructor gives
+// every die its own EngineConfig. The cluster compiles the reference
+// model's (model, weights) once per distinct config, re-plans each request
+// graph per config, and keys the service memo by config — so the same
+// request carries a different cost on every die design, which is the
+// per-(die, request) RequestEstimate vector handed to Scheduler::pick and
+// AdmissionPolicy::shed. Per-config costs are normalized into the
+// *reference* model's clock domain, keeping the simulation in one virtual
+// time base. Warmth enablement and max_coalesce must match the reference
+// config across the fleet (they are serving-protocol knobs, not die
+// properties); budgets and penalties may differ per die. Sampled
+// (GraphSAGE) plans are rejected on fleet clusters — sampling is fresh per
+// plan() call, so a per-config re-plan could not reproduce the request's
+// sampled adjacencies. A homogeneous FleetSpec over the reference config
+// is bit-exact with the fleet-unaware constructor.
+//
+// SLOs and admission (serve/slo.hpp): deadline-carrying traces
+// (TraceStream::slo_cycles) stamp each record's deadline, and every offer
+// first passes the AdmissionPolicy, which may shed the request — recorded
+// with shed = true, start = finish = the shed time, no die attribution,
+// and counted against SLO attainment but never in latency percentiles.
+// The default admit-all policy sheds nothing and is bit-exact with the
+// admission-unaware simulate overload.
 #pragma once
 
 #include <cstdint>
@@ -58,7 +82,9 @@
 
 #include "core/report.hpp"
 #include "core/serving.hpp"
+#include "serve/fleet.hpp"
 #include "serve/scheduler.hpp"
+#include "serve/slo.hpp"
 #include "serve/trace.hpp"
 
 namespace gnnie::serve {
@@ -68,16 +94,44 @@ class Cluster {
   /// `dies` independent engine instances over one compiled model.
   Cluster(CompiledModel model, std::size_t dies);
 
+  /// A heterogeneous fleet: die d runs `spec.configs[spec.assignment[d]]`.
+  /// Each distinct config gets its own compile of the reference model's
+  /// (model, weights) — with that config's *default-derived* cache policy;
+  /// a custom CachePolicy handed to the reference Engine does not propagate
+  /// to fleet configs. Throws unless the spec validates and every config
+  /// matches the reference's warmth enablement and max_coalesce.
+  Cluster(const CompiledModel& reference, FleetSpec spec);
+
   std::size_t die_count() const { return die_count_; }
   const CompiledModel& model() const { return model_; }
+  const FleetSpec& fleet() const { return spec_; }
+  /// True when the dies do not all share one config.
+  bool heterogeneous() const { return heterogeneous_; }
+  double fleet_cost() const { return spec_.total_cost(); }
 
   /// Runs the trace through the scheduler over this cluster and returns the
-  /// per-request records plus the tail-latency/utilization rollup.
+  /// per-request records plus the tail-latency/utilization/SLO rollup.
+  /// Admits everything (AdmissionPolicy::admit_all).
   ServingReport simulate(const RequestTrace& trace, const Scheduler& scheduler) const;
+
+  /// As above, but every offer passes `admission` first; shed requests are
+  /// terminally dropped and recorded with RequestRecord::shed.
+  ServingReport simulate(const RequestTrace& trace, const Scheduler& scheduler,
+                         const AdmissionPolicy& admission) const;
 
  private:
   CompiledModel model_;
   std::size_t die_count_;
+  FleetSpec spec_;
+  /// One compiled model per spec_.configs entry; empty for the homogeneous
+  /// constructor (which reuses model_ and the request's own plans).
+  std::vector<CompiledModel> config_models_;
+  /// die → index into spec_.configs (and config_models_ when non-empty).
+  std::vector<std::size_t> die_config_;
+  /// Per-config cycle normalization into the reference clock domain:
+  /// reference_clock / config_clock.
+  std::vector<double> config_scale_;
+  bool heterogeneous_ = false;
 };
 
 }  // namespace gnnie::serve

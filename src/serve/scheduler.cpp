@@ -61,7 +61,7 @@ std::size_t least_loaded(std::span<const DieStatus> dies) {
 struct FifoScheduler final : Scheduler {
   SchedulerKind kind() const override { return SchedulerKind::kFifo; }
 
-  std::size_t pick(const TracedRequest&, const RequestEstimate&,
+  std::size_t pick(const TracedRequest&, std::span<const RequestEstimate>,
                    std::span<const DieStatus> dies, Cycles) const override {
     // Global FIFO: only dispatch onto an idle die; otherwise wait in the
     // arrival-order queue. Starts therefore happen in arrival order.
@@ -75,7 +75,7 @@ struct FifoScheduler final : Scheduler {
 struct ShortestQueueScheduler final : Scheduler {
   SchedulerKind kind() const override { return SchedulerKind::kShortestQueue; }
 
-  std::size_t pick(const TracedRequest&, const RequestEstimate&,
+  std::size_t pick(const TracedRequest&, std::span<const RequestEstimate>,
                    std::span<const DieStatus> dies, Cycles) const override {
     return least_loaded(dies);
   }
@@ -84,7 +84,7 @@ struct ShortestQueueScheduler final : Scheduler {
 struct GraphAffinityScheduler final : Scheduler {
   SchedulerKind kind() const override { return SchedulerKind::kGraphAffinity; }
 
-  std::size_t pick(const TracedRequest& request, const RequestEstimate&,
+  std::size_t pick(const TracedRequest& request, std::span<const RequestEstimate>,
                    std::span<const DieStatus> dies, Cycles) const override {
     const std::uint64_t fp = request.request.plan->fingerprint();
     // 1. Least-loaded die already holding this graph's plan state.
@@ -104,10 +104,22 @@ struct GraphAffinityScheduler final : Scheduler {
   }
 };
 
+/// Predicted completion of the request on die `d`: drain what the die
+/// already owes (remaining service + routed backlog), then this request at
+/// its per-die estimate. The shared drain model of the warmth-aware and
+/// slo-aware schedulers.
+Cycles predicted_finish(const DieStatus& die, const RequestEstimate& estimate,
+                        Cycles now) {
+  const Cycles drained =
+      (die.busy && die.busy_until > now ? die.busy_until : now) +
+      die.queued_cycles_estimate;
+  return drained + estimate_die_service(die, estimate);
+}
+
 struct WarmthAwareScheduler final : Scheduler {
   SchedulerKind kind() const override { return SchedulerKind::kWarmthAware; }
 
-  std::size_t pick(const TracedRequest&, const RequestEstimate& estimate,
+  std::size_t pick(const TracedRequest&, std::span<const RequestEstimate> estimates,
                    std::span<const DieStatus> dies, Cycles now) const override {
     // Earliest predicted completion: drain what the die already owes
     // (remaining service + routed backlog), then this request at its
@@ -120,16 +132,47 @@ struct WarmthAwareScheduler final : Scheduler {
     std::size_t best = 0;
     Cycles best_finish = std::numeric_limits<Cycles>::max();
     for (std::size_t d = 0; d < dies.size(); ++d) {
-      const Cycles drained =
-          (dies[d].busy && dies[d].busy_until > now ? dies[d].busy_until : now) +
-          dies[d].queued_cycles_estimate;
-      const Cycles finish = drained + estimate_die_service(dies[d], estimate);
+      const Cycles finish = predicted_finish(dies[d], estimates[d], now);
       if (finish < best_finish) {
         best_finish = finish;
         best = d;
       }
     }
     return best;
+  }
+};
+
+struct SloAwareScheduler final : Scheduler {
+  SchedulerKind kind() const override { return SchedulerKind::kSloAware; }
+
+  std::size_t pick(const TracedRequest& request,
+                   std::span<const RequestEstimate> estimates,
+                   std::span<const DieStatus> dies, Cycles now) const override {
+    // Route by predicted slack. Deadline-carrying requests go to the
+    // *slowest* die still predicted to meet the deadline — on a
+    // heterogeneous fleet that degrades loose-SLO requests onto cheap dies
+    // and keeps the fast ones free for tight deadlines; if no die meets the
+    // deadline, minimize lateness. Deadline-free requests take the earliest
+    // predicted completion (warmth-aware's rule), so on an SLO-less trace
+    // this scheduler is pure predicted-completion load balancing.
+    std::size_t earliest = 0;
+    Cycles earliest_finish = std::numeric_limits<Cycles>::max();
+    std::size_t meeting = kDefer;  // latest-finishing die with finish <= deadline
+    Cycles meeting_finish = 0;
+    for (std::size_t d = 0; d < dies.size(); ++d) {
+      const Cycles finish = predicted_finish(dies[d], estimates[d], now);
+      if (finish < earliest_finish) {
+        earliest_finish = finish;
+        earliest = d;
+      }
+      if (request.has_slo() && finish <= request.deadline &&
+          (meeting == kDefer || finish > meeting_finish)) {
+        meeting = d;
+        meeting_finish = finish;
+      }
+    }
+    if (!request.has_slo()) return earliest;
+    return meeting != kDefer ? meeting : earliest;
   }
 };
 
@@ -145,6 +188,8 @@ const char* to_string(SchedulerKind kind) {
       return "graph-affinity";
     case SchedulerKind::kWarmthAware:
       return "warmth-aware";
+    case SchedulerKind::kSloAware:
+      return "slo-aware";
   }
   return "?";
 }
@@ -152,7 +197,7 @@ const char* to_string(SchedulerKind kind) {
 const std::vector<SchedulerKind>& all_scheduler_kinds() {
   static const std::vector<SchedulerKind> kinds = {
       SchedulerKind::kFifo, SchedulerKind::kShortestQueue, SchedulerKind::kGraphAffinity,
-      SchedulerKind::kWarmthAware};
+      SchedulerKind::kWarmthAware, SchedulerKind::kSloAware};
   return kinds;
 }
 
@@ -166,6 +211,8 @@ std::unique_ptr<Scheduler> Scheduler::make(SchedulerKind kind) {
       return std::make_unique<GraphAffinityScheduler>();
     case SchedulerKind::kWarmthAware:
       return std::make_unique<WarmthAwareScheduler>();
+    case SchedulerKind::kSloAware:
+      return std::make_unique<SloAwareScheduler>();
   }
   GNNIE_REQUIRE(false, "unknown scheduler kind");
   return nullptr;

@@ -2,7 +2,7 @@
 //
 // A Scheduler decides, for each arriving (or re-offered) request, which die
 // queue it joins — or defers it to the cluster's global arrival-order queue
-// to wait for a free die. Four policies ship:
+// to wait for a free die. Five policies ship:
 //
 //   * FIFO — one global queue: a request is dispatched only when a die is
 //     idle, so service starts cluster-wide in arrival order. On one die
@@ -19,6 +19,18 @@
 //     request's warm/cold service estimate against the die's residency
 //     state (estimate_die_service). With the warmth model disabled it
 //     degenerates to pure predicted-completion-time load balancing.
+//   * slo-aware — route by predicted *slack* against the request's deadline
+//     over the per-die estimate vector (heterogeneous fleets give every die
+//     its own service estimate, serve/fleet.hpp): among dies predicted to
+//     meet the deadline, pick the slowest-finishing one — degrading to a
+//     cheaper die keeps the fast dies free for requests that need them.
+//     When no die can meet the deadline it minimizes lateness, and
+//     deadline-free requests fall back to earliest predicted completion.
+//
+// pick() receives one RequestEstimate per die: on a heterogeneous fleet the
+// same request costs differently per die design, so estimates are a
+// per-(die, request) vector (index-aligned with the DieStatus span). On a
+// homogeneous cluster all entries are identical.
 //
 // Schedulers are stateless (all routing state lives in the DieStatus
 // snapshots the Cluster maintains), so a (trace, scheduler kind, cluster)
@@ -37,7 +49,13 @@ namespace gnnie::serve {
 
 class DieWarmthModel;
 
-enum class SchedulerKind { kFifo, kShortestQueue, kGraphAffinity, kWarmthAware };
+enum class SchedulerKind {
+  kFifo,
+  kShortestQueue,
+  kGraphAffinity,
+  kWarmthAware,
+  kSloAware,
+};
 
 const char* to_string(SchedulerKind kind);
 const std::vector<SchedulerKind>& all_scheduler_kinds();
@@ -120,9 +138,12 @@ class Scheduler {
   static constexpr std::size_t kDefer = static_cast<std::size_t>(-1);
 
   /// Dispatch decision for one request: a die index to enqueue it on, or
-  /// kDefer. Must be deterministic in (request, estimate, dies, now) — ties
-  /// broken by die index — so simulations are reproducible.
-  virtual std::size_t pick(const TracedRequest& request, const RequestEstimate& estimate,
+  /// kDefer. `estimates` holds this request's service estimate on each die
+  /// (index-aligned with `dies`; identical entries on a homogeneous
+  /// cluster). Must be deterministic in (request, estimates, dies, now) —
+  /// ties broken by die index — so simulations are reproducible.
+  virtual std::size_t pick(const TracedRequest& request,
+                           std::span<const RequestEstimate> estimates,
                            std::span<const DieStatus> dies, Cycles now) const = 0;
 
   static std::unique_ptr<Scheduler> make(SchedulerKind kind);

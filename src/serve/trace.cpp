@@ -14,6 +14,7 @@ void validate_streams(const std::vector<TraceStream>& streams) {
     GNNIE_REQUIRE(s.plan != nullptr, "every stream needs a GraphPlan");
     GNNIE_REQUIRE(s.features != nullptr, "every stream needs features");
     GNNIE_REQUIRE(s.weight > 0.0, "stream weights must be positive");
+    GNNIE_REQUIRE(s.slo_cycles >= 0, "a stream SLO cannot be negative (0 = no SLO)");
   }
 }
 
@@ -43,6 +44,13 @@ RequestTrace::RequestTrace(std::vector<TraceStream> streams)
   validate_streams(streams_);
 }
 
+bool RequestTrace::has_slo() const {
+  for (const TraceStream& s : streams_) {
+    if (s.slo_cycles > 0) return true;
+  }
+  return false;
+}
+
 std::vector<std::size_t> RequestTrace::stream_counts() const {
   std::vector<std::size_t> counts(streams_.size(), 0);
   for (const TracedRequest& r : requests_) ++counts[r.stream];
@@ -53,6 +61,8 @@ void RequestTrace::emit(Cycles arrival, std::size_t stream) {
   TracedRequest r;
   r.arrival = arrival;
   r.stream = stream;
+  const std::int64_t slo = streams_[stream].slo_cycles;
+  r.deadline = slo > 0 ? arrival + static_cast<Cycles>(slo) : 0;
   r.request.plan = streams_[stream].plan;
   r.request.features = streams_[stream].features;
   requests_.push_back(std::move(r));

@@ -35,6 +35,12 @@ struct TraceStream {
   GraphPlanPtr plan;
   const SparseMatrix* features = nullptr;
   double weight = 1.0;
+  /// Latency SLO of this stream's requests, in cycles from arrival. 0 means
+  /// "no SLO" (the request never counts toward attainment); negative values
+  /// are rejected by every trace constructor. Each emitted request is
+  /// stamped with the absolute deadline arrival + slo_cycles, so the
+  /// cluster and schedulers never re-derive it.
+  std::int64_t slo_cycles = 0;
 };
 
 /// One arrival: when it lands (cluster virtual time, cycles), which stream
@@ -42,7 +48,11 @@ struct TraceStream {
 struct TracedRequest {
   Cycles arrival = 0;
   std::size_t stream = 0;
+  /// Absolute deadline (arrival + the stream's slo_cycles); 0 = no SLO.
+  Cycles deadline = 0;
   RunRequest request;
+
+  bool has_slo() const { return deadline != 0; }
 };
 
 class RequestTrace {
@@ -75,6 +85,9 @@ class RequestTrace {
   /// Requests per stream, index-aligned with stream(); sums to size().
   /// Handy for validating a skewed traffic mix actually skewed.
   std::vector<std::size_t> stream_counts() const;
+  /// Any stream carries an SLO (slo_cycles > 0) — the cluster's reports
+  /// switch on deadline accounting iff this holds.
+  bool has_slo() const;
 
  private:
   RequestTrace(std::vector<TraceStream> streams);

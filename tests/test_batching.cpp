@@ -339,16 +339,17 @@ TEST(BatchingScheduler, WarmthAwarePrefersTheDieWhoseHeadOfLinePlanMatches) {
   }
   dies[1].queue_head_fingerprint = 42;  // this die's next slot is our plan
 
+  // pick() takes one estimate per die (identical on a homogeneous cluster).
+  std::vector<RequestEstimate> ests(2, est);
   // Without a coalescing opportunity the tie breaks to die 0...
-  est.coalesce_count = 1;
-  EXPECT_EQ(sched->pick(request, est, dies, 0), 0u);
+  EXPECT_EQ(sched->pick(request, ests, dies, 0), 0u);
   // ...with one, riding die 1's slot saves the weighting setup.
-  est.coalesce_count = 2;
-  EXPECT_EQ(sched->pick(request, est, dies, 0), 1u);
+  for (RequestEstimate& e : ests) e.coalesce_count = 2;
+  EXPECT_EQ(sched->pick(request, ests, dies, 0), 1u);
   // A matching head-of-line never outweighs a genuinely shorter backlog.
   dies[0].queued_cycles_estimate = 0;
   dies[0].busy_until = 2000;
-  EXPECT_EQ(sched->pick(request, est, dies, 0), 0u);
+  EXPECT_EQ(sched->pick(request, ests, dies, 0), 0u);
 }
 
 TEST(BatchingScheduler, FullSlotsStopAdvertisingTheirHeadOfLinePlan) {
@@ -360,7 +361,7 @@ TEST(BatchingScheduler, FullSlotsStopAdvertisingTheirHeadOfLinePlan) {
   struct Probe final : Scheduler {
     mutable std::vector<std::pair<std::size_t, std::uint64_t>> seen;
     SchedulerKind kind() const override { return SchedulerKind::kShortestQueue; }
-    std::size_t pick(const TracedRequest&, const RequestEstimate&,
+    std::size_t pick(const TracedRequest&, std::span<const RequestEstimate>,
                      std::span<const DieStatus> dies, Cycles) const override {
       seen.emplace_back(dies[0].queue_depth, dies[0].queue_head_fingerprint);
       return 0;
@@ -384,10 +385,10 @@ TEST(BatchingScheduler, EstimateCarriesTheClusterWideOpportunity) {
     mutable std::uint32_t max_seen = 0;
     mutable Cycles saving_seen = 0;
     SchedulerKind kind() const override { return SchedulerKind::kFifo; }
-    std::size_t pick(const TracedRequest&, const RequestEstimate& est,
+    std::size_t pick(const TracedRequest&, std::span<const RequestEstimate> ests,
                      std::span<const DieStatus> dies, Cycles) const override {
-      max_seen = std::max(max_seen, est.coalesce_count);
-      saving_seen = std::max(saving_seen, est.batch_saving_cycles);
+      max_seen = std::max(max_seen, ests[0].coalesce_count);
+      saving_seen = std::max(saving_seen, ests[0].batch_saving_cycles);
       for (std::size_t d = 0; d < dies.size(); ++d) {
         if (!dies[d].busy && dies[d].queue_depth == 0) return d;
       }

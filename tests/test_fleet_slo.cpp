@@ -1,0 +1,392 @@
+// Tests for the heterogeneous fleet + SLO subsystem: FleetSpec construction
+// and validation, per-die service costs on mixed-design clusters, deadline
+// traces (stamping, zero-slack, no-SLO streams, negative rejection),
+// admission policies (admit-all bit-exactness, shed-hopeless), the
+// slack-aware scheduler's attainment win at the queueing knee, and the
+// empty-sample percentile behavior shedding exposes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/serving.hpp"
+#include "datasets/synthetic.hpp"
+#include "nn/layers.hpp"
+#include "serve/cluster.hpp"
+#include "serve/fleet.hpp"
+#include "serve/slo.hpp"
+#include "serve_test_util.hpp"
+
+namespace gnnie {
+namespace {
+
+using serve::AdmissionKind;
+using serve::AdmissionPolicy;
+using serve::Cluster;
+using serve::FleetSpec;
+using serve::RequestTrace;
+using serve::Scheduler;
+using serve::SchedulerKind;
+using serve::TraceStream;
+using test::ServeFixture;  // the two-tenant serving setup (serve_test_util.hpp)
+
+// --- FleetSpec ---
+
+TEST(FleetSpec, FromDesignsSharesConfigsAndPricesByMacCount) {
+  FleetSpec spec = FleetSpec::from_designs("EEAA");
+  ASSERT_EQ(spec.die_count(), 4u);
+  ASSERT_EQ(spec.configs.size(), 2u);  // equal letters share one config
+  EXPECT_EQ(spec.assignment, (std::vector<std::size_t>{0, 0, 1, 1}));
+  EXPECT_EQ(spec.configs[0].label, "E");
+  EXPECT_EQ(spec.configs[1].label, "A");
+  // MAC-relative costs: A (1024 MACs) is the unit; E has 1216.
+  EXPECT_DOUBLE_EQ(spec.configs[1].cost, 1.0);
+  EXPECT_DOUBLE_EQ(spec.configs[0].cost, 1216.0 / 1024.0);
+  EXPECT_DOUBLE_EQ(spec.total_cost(), 2.0 * (1216.0 / 1024.0) + 2.0);
+  EXPECT_EQ(spec.mix_label(), "EEAA");
+  spec.validate();
+}
+
+TEST(FleetSpec, HomogeneousLabelsFromTheArrayDesign) {
+  FleetSpec spec = FleetSpec::homogeneous(EngineConfig::paper_default(false), 3);
+  EXPECT_EQ(spec.die_count(), 3u);
+  EXPECT_EQ(spec.configs.size(), 1u);
+  EXPECT_EQ(spec.configs[0].label, "E");  // paper default is design E
+  EXPECT_DOUBLE_EQ(spec.total_cost(), 3.0);
+  spec.validate();
+}
+
+TEST(FleetSpec, ValidatesShapeAndRejectsBadDesignLetters) {
+  EXPECT_THROW(FleetSpec{}.validate(), std::invalid_argument);
+  FleetSpec no_dies;
+  no_dies.configs.push_back({EngineConfig::paper_default(false), 1.0, "E"});
+  EXPECT_THROW(no_dies.validate(), std::invalid_argument);
+  FleetSpec dangling = FleetSpec::homogeneous(EngineConfig::paper_default(false), 2);
+  dangling.assignment.push_back(7);  // no such config
+  EXPECT_THROW(dangling.validate(), std::invalid_argument);
+  FleetSpec negative_cost = FleetSpec::homogeneous(EngineConfig::paper_default(false), 2);
+  negative_cost.configs[0].cost = -1.0;
+  EXPECT_THROW(negative_cost.validate(), std::invalid_argument);
+  EXPECT_THROW(FleetSpec::from_designs(""), std::invalid_argument);
+  EXPECT_THROW(FleetSpec::from_designs("AXB"), std::invalid_argument);
+  EXPECT_THROW(FleetSpec::homogeneous(EngineConfig::paper_default(false), 0),
+               std::invalid_argument);
+}
+
+// --- The fleet cluster ---
+
+TEST(FleetCluster, HomogeneousFleetSpecIsBitExactWithThePlainCluster) {
+  // The fleet constructor compiles its own per-config model; over the
+  // reference config that compile is deterministic, so every record must
+  // match the fleet-unaware cluster exactly.
+  ServeFixture f;
+  FleetSpec spec = FleetSpec::homogeneous(EngineConfig::paper_default(false), 3);
+  Cluster plain(f.compiled, 3);
+  Cluster fleet(f.compiled, spec);
+  EXPECT_FALSE(fleet.heterogeneous());
+  RequestTrace trace =
+      RequestTrace::poisson({f.stream_a(), f.stream_b()}, 60, 2000.0, /*seed=*/11);
+  for (SchedulerKind kind : serve::all_scheduler_kinds()) {
+    auto sched = Scheduler::make(kind);
+    ServingReport a = plain.simulate(trace, *sched);
+    ServingReport b = fleet.simulate(trace, *sched);
+    ASSERT_EQ(a.requests.size(), b.requests.size());
+    for (std::size_t i = 0; i < a.requests.size(); ++i) {
+      EXPECT_EQ(a.requests[i].die, b.requests[i].die) << a.scheduler;
+      EXPECT_EQ(a.requests[i].start, b.requests[i].start) << a.scheduler;
+      EXPECT_EQ(a.requests[i].finish, b.requests[i].finish) << a.scheduler;
+    }
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.die_busy_cycles, b.die_busy_cycles);
+  }
+}
+
+TEST(FleetCluster, HeterogeneousServiceCostsMatchPerConfigRuns) {
+  // Each die charges the cost its own design would report: a record on an
+  // A die must equal run_cost on an A-configured compile of the same
+  // (model, weights, graph, features) — not the reference E cost.
+  ServeFixture f;
+  Cluster fleet(f.compiled, FleetSpec::from_designs("EA"));
+  EXPECT_TRUE(fleet.heterogeneous());
+  EXPECT_DOUBLE_EQ(fleet.fleet_cost(), 1216.0 / 1024.0 + 1.0);
+
+  CompiledModel on_a = Engine(EngineConfig::design_point('A', false))
+                           .compile(f.compiled.model(), f.compiled.weights());
+  CompiledModel on_e = Engine(EngineConfig::design_point('E', false))
+                           .compile(f.compiled.model(), f.compiled.weights());
+  const Cycles cost_a_die_a =
+      on_a.run_cost({on_a.plan(f.a.graph), &f.a.features}).total_cycles;
+  const Cycles cost_a_die_e =
+      on_e.run_cost({on_e.plan(f.a.graph), &f.a.features}).total_cycles;
+  ASSERT_NE(cost_a_die_a, cost_a_die_e) << "designs A and E must price differently";
+
+  // Spaced arrivals so both dies serve stream-a requests without queueing.
+  RequestTrace trace = RequestTrace::fixed_interval({f.stream_a()}, 8, 0);
+  auto sq = Scheduler::make(SchedulerKind::kShortestQueue);
+  ServingReport rep = fleet.simulate(trace, *sq);
+  EXPECT_TRUE(rep.heterogeneous);
+  EXPECT_EQ(rep.die_labels, (std::vector<std::string>{"E", "A"}));
+  std::set<std::size_t> dies_used;
+  for (const RequestRecord& r : rep.requests) {
+    dies_used.insert(r.die);
+    EXPECT_EQ(r.service_cycles(), r.die == 0 ? cost_a_die_e : cost_a_die_a);
+  }
+  EXPECT_EQ(dies_used.size(), 2u);
+}
+
+TEST(FleetCluster, RejectsMismatchedServingKnobsAndSampledPlans) {
+  ServeFixture f;
+  FleetSpec warm = FleetSpec::homogeneous(EngineConfig::paper_default(false), 2);
+  warm.configs[0].engine.warmth.enabled = true;  // reference has warmth off
+  EXPECT_THROW(Cluster(f.compiled, warm), std::invalid_argument);
+  FleetSpec batched = FleetSpec::homogeneous(EngineConfig::paper_default(false), 2);
+  batched.configs[0].engine.batching.max_coalesce = 4;
+  EXPECT_THROW(Cluster(f.compiled, batched), std::invalid_argument);
+}
+
+// --- Deadline traces ---
+
+TEST(SloTrace, DeadlinesAreStampedAbsolutePerArrival) {
+  ServeFixture f;
+  TraceStream tight = f.stream_a();
+  tight.slo_cycles = 5000;
+  TraceStream no_slo = f.stream_b();  // slo_cycles stays 0
+  RequestTrace trace = RequestTrace::fixed_interval({tight, no_slo}, 6, 100);
+  EXPECT_TRUE(trace.has_slo());
+  for (const auto& r : trace.requests()) {
+    if (r.stream == 0) {
+      EXPECT_EQ(r.deadline, r.arrival + 5000);
+      EXPECT_TRUE(r.has_slo());
+    } else {
+      EXPECT_EQ(r.deadline, 0u);  // 0 = no SLO for this request
+      EXPECT_FALSE(r.has_slo());
+    }
+  }
+}
+
+TEST(SloTrace, SloCyclesZeroMeansNoSloEverywhere) {
+  ServeFixture f;
+  RequestTrace trace = RequestTrace::fixed_interval({f.stream_a()}, 4, 100);
+  EXPECT_FALSE(trace.has_slo());
+  auto fifo = Scheduler::make(SchedulerKind::kFifo);
+  ServingReport rep = Cluster(f.compiled, 1).simulate(trace, *fifo);
+  EXPECT_FALSE(rep.slo_enabled);
+  EXPECT_EQ(rep.slo_request_count(), 0u);
+  EXPECT_EQ(rep.shed_count(), 0u);
+  EXPECT_DOUBLE_EQ(rep.slo_attainment(), 1.0);  // vacuously met
+}
+
+TEST(SloTrace, NegativeSloIsRejectedByAllThreeConstructors) {
+  ServeFixture f;
+  TraceStream negative = f.stream_a();
+  negative.slo_cycles = -1;
+  EXPECT_THROW(RequestTrace::fixed_interval({negative}, 4, 100), std::invalid_argument);
+  EXPECT_THROW(RequestTrace::poisson({negative}, 4, 100.0, 1), std::invalid_argument);
+  EXPECT_THROW(RequestTrace::bursty({negative}, 4, 100.0, 10.0, 5.0, 5.0, 1),
+               std::invalid_argument);
+  // Hiding among valid streams does not help.
+  EXPECT_THROW(RequestTrace::poisson({f.stream_a(), negative}, 4, 100.0, 1),
+               std::invalid_argument);
+}
+
+TEST(SloCluster, ZeroSlackDeadlineIsMetOnAnIdleCluster) {
+  // A deadline of exactly the service time leaves zero slack: the request
+  // finishes at its deadline and finish <= deadline must count as met —
+  // under every scheduler, and shed-hopeless must not shed it.
+  ServeFixture f;
+  const Cycles service = f.compiled.run_cost({f.plan_a, &f.a.features}).total_cycles;
+  TraceStream exact = f.stream_a();
+  exact.slo_cycles = static_cast<std::int64_t>(service);
+  RequestTrace trace = RequestTrace::fixed_interval({exact}, 1, 100);
+  auto shed = AdmissionPolicy::make(AdmissionKind::kShedHopeless);
+  for (SchedulerKind kind : serve::all_scheduler_kinds()) {
+    auto sched = Scheduler::make(kind);
+    ServingReport rep = Cluster(f.compiled, 2).simulate(trace, *sched, *shed);
+    ASSERT_EQ(rep.requests.size(), 1u) << rep.scheduler;
+    EXPECT_FALSE(rep.requests[0].shed) << rep.scheduler;
+    EXPECT_EQ(rep.requests[0].finish, rep.requests[0].deadline) << rep.scheduler;
+    EXPECT_EQ(rep.slo_met_count(), 1u) << rep.scheduler;
+    EXPECT_DOUBLE_EQ(rep.slo_attainment(), 1.0) << rep.scheduler;
+  }
+}
+
+// --- Admission ---
+
+TEST(SloCluster, AdmitAllOverloadIsBitExactWithTheTwoArgSimulate) {
+  ServeFixture f;
+  TraceStream tight = f.stream_a();
+  tight.slo_cycles = 1;  // hopeless, but admit-all must not care
+  RequestTrace trace =
+      RequestTrace::poisson({tight, f.stream_b()}, 50, 2000.0, /*seed=*/7);
+  Cluster cluster(f.compiled, 2);
+  for (SchedulerKind kind : serve::all_scheduler_kinds()) {
+    auto sched = Scheduler::make(kind);
+    ServingReport a = cluster.simulate(trace, *sched);
+    ServingReport b = cluster.simulate(trace, *sched, AdmissionPolicy::admit_all());
+    ASSERT_EQ(a.requests.size(), b.requests.size());
+    for (std::size_t i = 0; i < a.requests.size(); ++i) {
+      EXPECT_EQ(a.requests[i].die, b.requests[i].die) << a.scheduler;
+      EXPECT_EQ(a.requests[i].start, b.requests[i].start) << a.scheduler;
+      EXPECT_EQ(a.requests[i].finish, b.requests[i].finish) << a.scheduler;
+      EXPECT_FALSE(b.requests[i].shed);
+    }
+    EXPECT_EQ(a.makespan, b.makespan);
+  }
+}
+
+TEST(SloCluster, DeadlinesDoNotPerturbDeadlineBlindSchedulers) {
+  // Under admit-all, stamping SLOs onto a trace must not change what FIFO /
+  // shortest-queue / graph-affinity / warmth-aware do — deadlines only add
+  // accounting. (The slo-aware scheduler is deadline-driven by design.)
+  ServeFixture f;
+  TraceStream with_slo = f.stream_a();
+  with_slo.slo_cycles = 100000;
+  RequestTrace plain_trace =
+      RequestTrace::poisson({f.stream_a(), f.stream_b()}, 50, 2000.0, /*seed=*/13);
+  RequestTrace slo_trace =
+      RequestTrace::poisson({with_slo, f.stream_b()}, 50, 2000.0, /*seed=*/13);
+  Cluster cluster(f.compiled, 3);
+  for (SchedulerKind kind :
+       {SchedulerKind::kFifo, SchedulerKind::kShortestQueue,
+        SchedulerKind::kGraphAffinity, SchedulerKind::kWarmthAware}) {
+    auto sched = Scheduler::make(kind);
+    ServingReport a = cluster.simulate(plain_trace, *sched);
+    ServingReport b = cluster.simulate(slo_trace, *sched);
+    EXPECT_FALSE(a.slo_enabled);
+    EXPECT_TRUE(b.slo_enabled);
+    ASSERT_EQ(a.requests.size(), b.requests.size());
+    for (std::size_t i = 0; i < a.requests.size(); ++i) {
+      EXPECT_EQ(a.requests[i].die, b.requests[i].die) << a.scheduler;
+      EXPECT_EQ(a.requests[i].start, b.requests[i].start) << a.scheduler;
+      EXPECT_EQ(a.requests[i].finish, b.requests[i].finish) << a.scheduler;
+    }
+  }
+}
+
+TEST(SloCluster, ShedHopelessDropsOnlyDoomedRequests) {
+  // slo_cycles = 1: no die can ever finish in one cycle, so every stream-a
+  // request is hopeless and must be shed at its first offer; the no-SLO
+  // stream must never be shed.
+  ServeFixture f;
+  TraceStream doomed = f.stream_a();
+  doomed.slo_cycles = 1;
+  RequestTrace trace =
+      RequestTrace::poisson({doomed, f.stream_b()}, 40, 2000.0, /*seed=*/5);
+  auto shed = AdmissionPolicy::make(AdmissionKind::kShedHopeless);
+  auto sq = Scheduler::make(SchedulerKind::kShortestQueue);
+  ServingReport rep = Cluster(f.compiled, 2).simulate(trace, *sq, *shed);
+  std::size_t doomed_count = 0;
+  for (const RequestRecord& r : rep.requests) {
+    if (r.stream == 0) {
+      ++doomed_count;
+      EXPECT_TRUE(r.shed);
+      EXPECT_EQ(r.start, r.finish);       // no service
+      EXPECT_GE(r.start, r.arrival);      // shed at an offer, never before
+      EXPECT_FALSE(r.slo_met());
+    } else {
+      EXPECT_FALSE(r.shed);  // no deadline — never sheddable
+    }
+  }
+  ASSERT_GT(doomed_count, 0u);
+  EXPECT_EQ(rep.shed_count(), doomed_count);
+  EXPECT_EQ(rep.completed_count(), rep.requests.size() - doomed_count);
+  EXPECT_DOUBLE_EQ(rep.slo_attainment(), 0.0);
+  EXPECT_DOUBLE_EQ(rep.stream_slo_attainment(0), 0.0);  // shed = missed
+  EXPECT_DOUBLE_EQ(rep.stream_slo_attainment(1), 1.0);  // vacuous: no SLOs
+}
+
+TEST(SloCluster, SheddingEverythingLeavesZeroPercentilesNotACrash) {
+  // The empty-sample edge: shedding can empty the completed set (or a whole
+  // warm/cold class), and every percentile accessor must return 0 instead
+  // of indexing an empty vector.
+  ServeFixture f;
+  TraceStream doomed = f.stream_a();
+  doomed.slo_cycles = 1;
+  RequestTrace trace = RequestTrace::poisson({doomed}, 20, 2000.0, /*seed=*/3);
+  auto shed = AdmissionPolicy::make(AdmissionKind::kShedHopeless);
+  auto fifo = Scheduler::make(SchedulerKind::kFifo);
+  ServingReport rep = Cluster(f.compiled, 2).simulate(trace, *fifo, *shed);
+  EXPECT_EQ(rep.shed_count(), rep.requests.size());
+  EXPECT_EQ(rep.completed_count(), 0u);
+  EXPECT_EQ(rep.p50_latency_cycles(), 0u);
+  EXPECT_EQ(rep.p99_latency_cycles(), 0u);
+  EXPECT_EQ(rep.max_latency_cycles(), 0u);
+  EXPECT_EQ(rep.warm_latency_percentile(99.0), 0u);
+  EXPECT_EQ(rep.cold_latency_percentile(99.0), 0u);
+  EXPECT_DOUBLE_EQ(rep.throughput_per_second(), 0.0);
+  EXPECT_DOUBLE_EQ(rep.warm_hit_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(rep.mean_batch_size(), 0.0);
+  EXPECT_DOUBLE_EQ(rep.slo_attainment(), 0.0);
+}
+
+// --- The slack-aware scheduler ---
+
+TEST(SloScheduler, FallsBackToEarliestCompletionWithoutDeadlines) {
+  // On an SLO-less trace the slo-aware scheduler is pure
+  // predicted-completion load balancing — identical to warmth-aware.
+  ServeFixture f;
+  RequestTrace trace =
+      RequestTrace::poisson({f.stream_a(), f.stream_b()}, 60, 1500.0, /*seed=*/21);
+  Cluster cluster(f.compiled, 3);
+  ServingReport wa =
+      cluster.simulate(trace, *Scheduler::make(SchedulerKind::kWarmthAware));
+  ServingReport slo =
+      cluster.simulate(trace, *Scheduler::make(SchedulerKind::kSloAware));
+  ASSERT_EQ(wa.requests.size(), slo.requests.size());
+  for (std::size_t i = 0; i < wa.requests.size(); ++i) {
+    EXPECT_EQ(wa.requests[i].die, slo.requests[i].die);
+    EXPECT_EQ(wa.requests[i].start, slo.requests[i].start);
+    EXPECT_EQ(wa.requests[i].finish, slo.requests[i].finish);
+  }
+}
+
+// The ISSUE acceptance criterion: on a 4-die heterogeneous fleet with a 4:1
+// two-stream deadline trace at the queueing knee, slack-aware routing
+// strictly improves SLO attainment over FIFO and shortest-queue.
+TEST(SloScheduler, BeatsFifoAndShortestQueueAtTheKneeOnAHeterogeneousFleet) {
+  ServeFixture f;
+  // On this workload the flexible-MAC E design is *slower* per request than
+  // the uniform A design (its binning overhead dominates the tiny graphs), so
+  // the EEAA fleet has two slow dies and two fast ones.
+  Cluster fleet(f.compiled, FleetSpec::from_designs("EEAA"));
+
+  // Per-die costs of the tight stream, to place the deadline strictly between
+  // the fast-die and slow-die service times: tight requests can only ever be
+  // met on an A die, and only a deadline-aware scheduler knows that.
+  CompiledModel on_a = Engine(EngineConfig::design_point('A', false))
+                           .compile(f.compiled.model(), f.compiled.weights());
+  CompiledModel on_e = Engine(EngineConfig::design_point('E', false))
+                           .compile(f.compiled.model(), f.compiled.weights());
+  const Cycles cost_fast =
+      on_a.run_cost({on_a.plan(f.a.graph), &f.a.features}).total_cycles;
+  const Cycles cost_slow =
+      on_e.run_cost({on_e.plan(f.a.graph), &f.a.features}).total_cycles;
+  ASSERT_LT(cost_fast, cost_slow);
+
+  TraceStream tight = f.stream_a();
+  tight.weight = 4.0;
+  tight.slo_cycles = static_cast<std::int64_t>((cost_fast + cost_slow) / 2);
+  TraceStream loose = f.stream_b();
+  loose.weight = 1.0;
+  loose.slo_cycles = static_cast<std::int64_t>(8 * cost_slow);
+
+  // Offered load around the queueing knee for this fleet: a mean gap of about
+  // half the fast-die service time keeps queues short enough that routing
+  // still matters, but long enough that deadline-blind schedulers strand
+  // tight requests behind slow dies.
+  RequestTrace trace = RequestTrace::poisson(
+      {tight, loose}, 160, static_cast<double>(cost_fast) / 1.8, /*seed=*/2);
+
+  auto attainment_of = [&](SchedulerKind kind) {
+    ServingReport rep = fleet.simulate(trace, *Scheduler::make(kind));
+    return rep.slo_attainment();
+  };
+  const double slo_aware = attainment_of(SchedulerKind::kSloAware);
+  const double fifo = attainment_of(SchedulerKind::kFifo);
+  const double shortest = attainment_of(SchedulerKind::kShortestQueue);
+  EXPECT_GT(slo_aware, fifo);
+  EXPECT_GT(slo_aware, shortest);
+}
+
+}  // namespace
+}  // namespace gnnie

@@ -220,6 +220,76 @@ TEST(ReportIo, ServingJsonCoalescingFieldsRoundTrip) {
   EXPECT_EQ(count, rep.requests.size());
 }
 
+TEST(ReportIo, ServingJsonSloDisabledPinsSchemaVersion1) {
+  // Regression pin for the version-1 shape: an SLO-less homogeneous report
+  // leads with schema_version 1 and carries none of the fleet/SLO keys, so
+  // consumers of the pre-SLO JSON see only the additive version field.
+  const std::string json = serving_report_to_json(make_serving_report());
+  EXPECT_EQ(json.rfind("{\"schema_version\":1,\"dies\":", 0), 0u)
+      << "schema_version must lead the object: " << json.substr(0, 60);
+  for (const char* key :
+       {"\"fleet_cost\"", "\"die_labels\"", "\"shed_requests\"", "\"slo_requests\"",
+        "\"slo_attainment\"", "\"stream_slo_attainment\"", "\"die_slo_attainment\"",
+        "\"deadline\"", "\"shed\""}) {
+    EXPECT_EQ(json.find(key), std::string::npos) << key;
+  }
+}
+
+ServingReport make_slo_serving_report() {
+  ServingReport rep = make_serving_report();
+  rep.slo_enabled = true;
+  rep.streams = 2;
+  // Request 0: met (finish 100 <= deadline 150). Request 1: missed
+  // (finish 160 > deadline 155). Request 2: shed at its arrival.
+  rep.requests[0].deadline = 150;
+  rep.requests[1].deadline = 155;
+  rep.requests[2].deadline = 120;
+  rep.requests[2].shed = true;
+  rep.requests[2].start = rep.requests[2].arrival;
+  rep.requests[2].finish = rep.requests[2].arrival;
+  return rep;
+}
+
+TEST(ReportIo, ServingJsonSloFieldsRoundTrip) {
+  const ServingReport rep = make_slo_serving_report();
+  const std::string json = serving_report_to_json(rep);
+  EXPECT_TRUE(json_braces_balanced(json));
+  EXPECT_EQ(json.rfind("{\"schema_version\":2,", 0), 0u);
+  EXPECT_NE(json.find("\"shed_requests\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"slo_requests\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"slo_attainment\":" + json_number(rep.slo_attainment())),
+            std::string::npos);
+  EXPECT_NE(json.find("\"stream_slo_attainment\":[" +
+                      json_number(rep.stream_slo_attainment(0)) + "," +
+                      json_number(rep.stream_slo_attainment(1)) + "]"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"die_slo_attainment\":["), std::string::npos);
+  // Every record carries its deadline and shed flag.
+  std::size_t count = 0, pos = 0;
+  while ((pos = json.find("\"deadline\"", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, rep.requests.size());
+  EXPECT_NE(json.find("\"deadline\":150,\"shed\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"deadline\":120,\"shed\":true"), std::string::npos);
+}
+
+TEST(ReportIo, ServingJsonFleetFieldsRoundTrip) {
+  ServingReport rep = make_serving_report();
+  rep.heterogeneous = true;
+  rep.fleet_cost = 3.25;
+  rep.die_labels = {"E", "A"};
+  const std::string json = serving_report_to_json(rep);
+  EXPECT_TRUE(json_braces_balanced(json));
+  // A heterogeneous fleet bumps the schema even without SLOs.
+  EXPECT_EQ(json.rfind("{\"schema_version\":2,", 0), 0u);
+  EXPECT_NE(json.find("\"fleet_cost\":3.25"), std::string::npos);
+  EXPECT_NE(json.find("\"die_labels\":[\"E\",\"A\"]"), std::string::npos);
+  // Fleet alone adds no per-record fields.
+  EXPECT_EQ(json.find("\"shed\""), std::string::npos);
+}
+
 TEST(ReportIo, WeightingJsonIncludesStreamByteSplit) {
   const std::string json = report_to_json(make_report(GnnKind::kGcn));
   EXPECT_NE(json.find("\"weight_stream_bytes\""), std::string::npos);

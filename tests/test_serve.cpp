@@ -249,10 +249,11 @@ TEST(ServeCluster, ShortestQueueTieBreaksDeterministicallyByLowestIndex) {
   // is a tie (equal in-flight counts), so the lowest-index rule must
   // produce exactly the round-robin sequence 0,1,2,3,0,1,2,3. The
   // warmth-aware scheduler degenerates to the same predicted-completion
-  // ties (warmth disabled ⇒ warm == cold), so it must match.
+  // ties (warmth disabled ⇒ warm == cold), so it must match — and so must
+  // slo-aware on a deadline-free trace (earliest-completion fallback).
   RequestTrace trace = RequestTrace::fixed_interval({f.stream_a()}, 8, 0);
-  for (SchedulerKind kind :
-       {SchedulerKind::kShortestQueue, SchedulerKind::kWarmthAware}) {
+  for (SchedulerKind kind : {SchedulerKind::kShortestQueue,
+                             SchedulerKind::kWarmthAware, SchedulerKind::kSloAware}) {
     auto sched = Scheduler::make(kind);
     ServingReport rep = Cluster(f.compiled, 4).simulate(trace, *sched);
     ASSERT_EQ(rep.requests.size(), 8u);
