@@ -12,6 +12,10 @@ itself:
     bench/baseline_slo.json): gates SLO attainment per fleet mix — an
     absolute drop beyond --slo-threshold fails — plus the same relative
     p99 check per fleet.
+  * bench_fig19_cache_policy_ablation (top-level "workloads" key; baseline
+    bench/baseline_cache.json): gates every policy's replayed hit rate per
+    workload — an absolute drop beyond --hit-threshold fails — plus the
+    oracle's own hit rate (the denominator must not silently sink).
 
 The serving simulator is fully deterministic in modeled cycles (no
 wall-clock anywhere), so any drift is a real modeling/perf change, not
@@ -24,6 +28,8 @@ refreshed:
       --json=bench/baseline_serve.json
   ./build/bench_serve_slo_vs_cost --requests=64 --scale=0.03 \
       --json=bench/baseline_slo.json
+  ./build/bench_fig19_cache_policy_ablation --scale=0.03 \
+      --json=bench/baseline_cache.json
 """
 
 import argparse
@@ -56,6 +62,60 @@ def curves_of(report):
         yield f"max_coalesce {curve['max_coalesce']}", curve["points"]
 
 
+def check_cache(current, baseline, threshold):
+    """Gate the cache-policy ablation: absolute hit-rate drops per
+    (workload, policy) cell and per workload oracle."""
+    for key in ["scale", "seed", "feature_width", "associativity"]:
+        if current.get(key) != baseline.get(key):
+            sys.exit(
+                f"check_bench: parameter mismatch on '{key}': current "
+                f"{current.get(key)!r} vs baseline {baseline.get(key)!r} — "
+                "regenerate the baseline with the CI bench arguments")
+
+    cur_workloads = {w["dataset"]: w for w in current["workloads"]}
+    base_workloads = {w["dataset"]: w for w in baseline.get("workloads", [])}
+    if set(cur_workloads) != set(base_workloads):
+        sys.exit(f"check_bench: workload sets differ (current "
+                 f"{sorted(cur_workloads)} vs baseline {sorted(base_workloads)}) "
+                 "— refresh the baseline so every workload stays gated")
+
+    regressions = []
+    improvements = []
+    print(f"gate on replayed hit rates (threshold {threshold:.1%} absolute):")
+    for name in sorted(cur_workloads):
+        cur_w, base_w = cur_workloads[name], base_workloads[name]
+        cur_rates = {p["policy"]: p["hit_rate"] for p in cur_w["policies"]}
+        base_rates = {p["policy"]: p["hit_rate"] for p in base_w["policies"]}
+        cur_rates["belady-oracle (denominator)"] = cur_w["oracle"]["hit_rate"]
+        base_rates["belady-oracle (denominator)"] = base_w["oracle"]["hit_rate"]
+        if set(cur_rates) != set(base_rates):
+            sys.exit(f"check_bench: policy sets differ on {name} (current "
+                     f"{sorted(cur_rates)} vs baseline {sorted(base_rates)}) "
+                     "— refresh the baseline so every policy stays gated")
+        for policy in sorted(cur_rates):
+            cur, base = cur_rates[policy], base_rates[policy]
+            drop = base - cur
+            verdict = "OK"
+            tag = f"{name}/{policy}"
+            if drop > threshold:
+                verdict = "REGRESSION"
+                regressions.append(tag)
+            elif drop < -threshold:
+                verdict = "improved"
+                improvements.append(tag)
+            print(f"  {name:>4} {policy:>30}: baseline {base:7.4f}, current "
+                  f"{cur:7.4f} ({-drop:+.4f} absolute) {verdict}")
+
+    if improvements:
+        print(f"note: {len(improvements)} cell(s) improved past the threshold — "
+              "consider refreshing the baseline")
+    if regressions:
+        print(f"FAIL: regressed on: {', '.join(regressions)}")
+        return 1
+    print("perf gate passed")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("current", help="JSON emitted by this run's bench")
@@ -65,6 +125,9 @@ def main():
     parser.add_argument("--slo-threshold", type=float, default=0.02,
                         help="max tolerated absolute SLO-attainment drop for "
                              "fleet reports (default 0.02)")
+    parser.add_argument("--hit-threshold", type=float, default=0.02,
+                        help="max tolerated absolute hit-rate drop for cache "
+                             "ablation reports (default 0.02)")
     parser.add_argument("--rho", type=float, nargs="+", default=None,
                         help="reference offered loads: one below the queueing "
                              "knee and one past it (default: 0.8 1.25, or "
@@ -73,6 +136,8 @@ def main():
 
     current = load(args.current)
     baseline = load(args.baseline)
+    if "workloads" in current:
+        return check_cache(current, baseline, args.hit_threshold)
     slo_report = "fleets" in current
     rhos = args.rho if args.rho else ([0.8, 1.1] if slo_report else [0.8, 1.25])
 

@@ -1,0 +1,28 @@
+#include "cache/access_trace.hpp"
+
+namespace gnnie::cache {
+
+AccessTrace AccessTrace::from_graph(const Csr& g) {
+  AccessTrace t;
+  t.vertex_count = g.vertex_count();
+  t.accesses.reserve(static_cast<std::size_t>(g.vertex_count()) + g.edge_count());
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    t.accesses.push_back(v);
+    for (VertexId w : g.neighbors(v)) t.accesses.push_back(w);
+  }
+  return t;
+}
+
+std::uint64_t AccessTrace::distinct_count() const {
+  std::vector<bool> seen(vertex_count, false);
+  std::uint64_t distinct = 0;
+  for (VertexId v : accesses) {
+    if (!seen[v]) {
+      seen[v] = true;
+      ++distinct;
+    }
+  }
+  return distinct;
+}
+
+}  // namespace gnnie::cache

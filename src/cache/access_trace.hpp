@@ -1,0 +1,43 @@
+// Access-trace recording for the cache-allocation subsystem (ROADMAP:
+// workload-aware cache allocation; Ginex 2208.09151, DCI 2503.01281).
+//
+// An AccessTrace is the per-vertex feature-fetch sequence an aggregation
+// workload demands: processing targets in ID order, each target touches its
+// own working set and then each neighbor's — exactly the order the
+// on-demand pull engine issues input-buffer accesses (AggregationEngine::
+// run_on_demand; a run with AggregationTask::access_log set records the
+// identical sequence, pinned by test). The trace depends only on the graph
+// structure, not on feature values — cycle costs are value-dependent, the
+// access *sequence* is not — so one trace per (plan) serves every request
+// on that graph.
+//
+// Everything downstream replays this trace: the Belady oracle
+// (cache/replay.hpp) computes the offline-optimal fetch count, the
+// DCI-style split search (cache/alloc.hpp) sizes the pinned hub region,
+// and every policy's hit rate is reported against the oracle's.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace gnnie::cache {
+
+struct AccessTrace {
+  VertexId vertex_count = 0;
+  /// accesses[i] is the vertex whose working set the workload touches i-th.
+  std::vector<VertexId> accesses;
+
+  /// The canonical demand sequence for aggregation over `g`: for each
+  /// target v in ascending ID order, v itself, then every neighbor of v.
+  /// Works unchanged for directed (sampled) adjacencies — the forward
+  /// neighbor list is exactly what the on-demand engine pulls.
+  static AccessTrace from_graph(const Csr& g);
+
+  /// Number of distinct vertices appearing in the trace (the compulsory
+  /// fetch floor no policy can beat).
+  std::uint64_t distinct_count() const;
+};
+
+}  // namespace gnnie::cache

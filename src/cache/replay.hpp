@@ -1,0 +1,57 @@
+// Trace-replay cache simulators: the hit-rate yardstick of the
+// cache-allocation subsystem.
+//
+// Every simulator serves the same AccessTrace with an input buffer of
+// `capacity` vertices and counts *fetches* — every load of a vertex's
+// working set into the buffer, whether on demand (a miss) or as a preload
+// (pinned hub regions are charged their fill). Counting fetches rather
+// than "misses" is what makes the Belady bound airtight: by the classic
+// demand-paging optimality result, no scheme serving a fixed trace with a
+// fixed capacity — pinning, prefetching, or any replacement rule — needs
+// fewer fetches than Belady's offline-optimal replacement. So
+// replay_belady() is a true denominator: every policy's replayed hit rate
+// is a fraction ≤ 1 of the oracle's on the same trace.
+//
+//   * replay_lru        — the on-demand engine's discipline (HyGCN-style).
+//   * replay_belady     — offline-optimal (Ginex): evict the cached vertex
+//                         whose next use is farthest in the future.
+//   * replay_pinned_lru — DCI-style dual cache: a preloaded, never-evicted
+//                         hub region plus an LRU fill region over the rest
+//                         of the capacity. With |pinned| == capacity this
+//                         degenerates to a static cache (the trace-domain
+//                         model of the subgraph-machinery layouts: the
+//                         buffer holds the layout's hot prefix).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "cache/access_trace.hpp"
+
+namespace gnnie::cache {
+
+struct ReplayResult {
+  std::uint64_t accesses = 0;  ///< trace length served
+  std::uint64_t fetches = 0;   ///< working-set loads (demand misses + preloads)
+
+  /// Fraction of accesses served without a fetch. Preload charges mean a
+  /// pathological (tiny-trace) replay can exceed one fetch per access;
+  /// real workloads never do.
+  double hit_rate() const {
+    if (accesses == 0) return 1.0;
+    return 1.0 - static_cast<double>(fetches) / static_cast<double>(accesses);
+  }
+};
+
+ReplayResult replay_lru(const AccessTrace& trace, std::uint64_t capacity);
+
+ReplayResult replay_belady(const AccessTrace& trace, std::uint64_t capacity);
+
+/// `pinned` vertices (must be distinct, |pinned| ≤ capacity) are preloaded
+/// — each charged one fetch — and never evicted; the remaining
+/// capacity − |pinned| slots run LRU. A zero-slot LRU region means every
+/// unpinned access fetches and nothing is retained.
+ReplayResult replay_pinned_lru(const AccessTrace& trace, std::uint64_t capacity,
+                               std::span<const VertexId> pinned);
+
+}  // namespace gnnie::cache

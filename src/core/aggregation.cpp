@@ -4,7 +4,11 @@
 #include <cmath>
 #include <memory>
 #include <numeric>
+#include <set>
+#include <utility>
 
+#include "cache/access_trace.hpp"
+#include "cache/alloc.hpp"
 #include "common/require.hpp"
 #include "graph/reorder.hpp"
 
@@ -224,7 +228,7 @@ Matrix AggregationEngine::run(const AggregationTask& task, AggregationReport* re
   }
   rep.policy = policy->kind();
   if (!policy->uses_subgraph_machinery()) {
-    return run_on_demand(task, rep);
+    return run_on_demand(task, *policy, rep);
   }
   return run_subgraph(task, *policy, rep);
 }
@@ -416,6 +420,7 @@ Matrix AggregationEngine::run_subgraph(const AggregationTask& task, const CacheP
           }
         }
         GNNIE_ASSERT(victim != v_count, "full set must contain a victim");
+        ++rep.set_conflict_evictions;
         evict_vertex(victim);
         cached.erase(std::find(cached.begin(), cached.end(), victim));
       }
@@ -424,6 +429,7 @@ Matrix AggregationEngine::run_subgraph(const AggregationTask& task, const CacheP
     in_cache[v] = true;
     cached.push_back(v);
     newly_added.push_back(v);
+    if (task.access_log != nullptr) task.access_log->push_back(v);
     if (hbm_ != nullptr) {
       hbm_->access(prop_addr(v), prop_bytes, false, MemClient::kInput);
       hbm_->access(adj_addr(v), 8 + static_cast<Bytes>(g.degree(v)) * 4, false,
@@ -805,7 +811,8 @@ Matrix AggregationEngine::run_subgraph(const AggregationTask& task, const CacheP
   return std::move(state.out);
 }
 
-Matrix AggregationEngine::run_on_demand(const AggregationTask& task, AggregationReport& rep) {
+Matrix AggregationEngine::run_on_demand(const AggregationTask& task, const CachePolicy& policy,
+                                        AggregationReport& rep) {
   const Csr& g = *task.graph;
   const std::size_t f = task.hw->cols();
   const VertexId v_count = g.vertex_count();
@@ -822,10 +829,29 @@ Matrix AggregationEngine::run_on_demand(const AggregationTask& task, Aggregation
     return layout_.property_base + static_cast<std::uint64_t>(v) * prop_bytes;
   };
 
+  const std::uint64_t n = rep.cache_capacity_vertices;
+  const ReplacementKind discipline = policy.replacement();
+
+  // DRAM cost of loading one vertex's working set (properties + adjacency
+  // slice) into the input buffer — shared by every replacement discipline
+  // and by the dual-cache hub preload.
+  auto charge_fetch = [&](VertexId v, bool random) {
+    if (hbm_ != nullptr) {
+      hbm_->access(prop_addr(v), prop_bytes, false, MemClient::kInput);
+      hbm_->access(layout_.adjacency_base + static_cast<std::uint64_t>(v) * 16, 8 +
+                       static_cast<Bytes>(g.degree(v)) * 4,
+                   false, MemClient::kInput);
+    }
+    rep.dram_accesses += 2;
+    rep.dram_bytes += prop_bytes + 8 + static_cast<Bytes>(g.degree(v)) * 4;
+    rep.input_fetch_bytes += prop_bytes + 8 + static_cast<Bytes>(g.degree(v)) * 4;
+    if (random) ++rep.random_dram_accesses;
+  };
+
   // LRU-managed input buffer: intrusive doubly-linked list over vertex ids
   // (v_count acts as the head/tail sentinel). LRU keeps hot hub vertices
   // resident — the fairest non-graph-specific policy to compare CP against.
-  const std::uint64_t n = rep.cache_capacity_vertices;
+  // The dual-cache discipline runs the same list over its fill region.
   std::vector<bool> in_cache(v_count, false);
   std::vector<VertexId> lru_prev(static_cast<std::size_t>(v_count) + 1, v_count);
   std::vector<VertexId> lru_next(static_cast<std::size_t>(v_count) + 1, v_count);
@@ -842,31 +868,115 @@ Matrix AggregationEngine::run_on_demand(const AggregationTask& task, Aggregation
     lru_next[v_count] = v;
   };
 
+  // Dual-cache (kDualPinnedLru): the top-p hubs of the exact degree order
+  // (the same order best_dual_split searches over) are preloaded and never
+  // evicted; the remaining n − p slots run LRU. p comes from the plan
+  // artifact when bound, else from the split search here.
+  std::vector<bool> is_pinned;
+  std::uint64_t lru_capacity = n;
+  std::vector<VertexId> pinned_preload;
+  if (discipline == ReplacementKind::kDualPinnedLru) {
+    std::uint64_t p = task.dual_pinned_hint;
+    if (p == kNoDualPinnedHint) {
+      p = cache::best_dual_split(cache::AccessTrace::from_graph(g), n, g).pinned;
+    }
+    const std::vector<VertexId> hubs = exact_degree_order(g);
+    p = std::min<std::uint64_t>({p, n, hubs.size()});
+    rep.dual_pinned_vertices = p;
+    lru_capacity = n - p;
+    is_pinned.assign(v_count, false);
+    pinned_preload.assign(hubs.begin(), hubs.begin() + static_cast<std::size_t>(p));
+    for (VertexId v : pinned_preload) is_pinned[v] = true;
+  }
+
+  // Belady oracle (kBelady): the access sequence of the loop below is
+  // deterministic and equals AccessTrace::from_graph, so the next-use chain
+  // can be precomputed and replayed with perfect future knowledge. acc_idx
+  // advances once per ensure_cached call — the trace and the loop cannot
+  // drift without tripping the bounds assert.
+  constexpr std::uint64_t kNeverUsed = std::numeric_limits<std::uint64_t>::max();
+  std::vector<std::uint64_t> next_use;
+  std::vector<std::uint64_t> belady_key;
+  std::set<std::pair<std::uint64_t, VertexId>> by_next_use;
+  std::size_t acc_idx = 0;
+  if (discipline == ReplacementKind::kBelady) {
+    const cache::AccessTrace trace = cache::AccessTrace::from_graph(g);
+    next_use.assign(trace.accesses.size(), kNeverUsed);
+    std::vector<std::uint64_t> upcoming(v_count, kNeverUsed);
+    for (std::size_t i = trace.accesses.size(); i-- > 0;) {
+      next_use[i] = upcoming[trace.accesses[i]];
+      upcoming[trace.accesses[i]] = i;
+    }
+    belady_key.assign(v_count, 0);
+  }
+
   auto ensure_cached = [&](VertexId v, bool random) {
-    if (in_cache[v]) {
-      lru_unlink(v);
-      lru_push_front(v);
-      return;
+    ++rep.buffer_accesses;
+    if (task.access_log != nullptr) task.access_log->push_back(v);
+    switch (discipline) {
+      case ReplacementKind::kLru:
+        if (in_cache[v]) {
+          ++rep.buffer_hits;
+          lru_unlink(v);
+          lru_push_front(v);
+          return;
+        }
+        if (cached_count >= n) {
+          const VertexId victim = lru_prev[v_count];  // tail = least recently used
+          lru_unlink(victim);
+          in_cache[victim] = false;
+          --cached_count;
+        }
+        in_cache[v] = true;
+        lru_push_front(v);
+        ++cached_count;
+        charge_fetch(v, random);
+        return;
+      case ReplacementKind::kDualPinnedLru:
+        if (is_pinned[v]) {
+          ++rep.buffer_hits;  // hub region: resident for the whole run
+          return;
+        }
+        if (in_cache[v]) {
+          ++rep.buffer_hits;
+          lru_unlink(v);
+          lru_push_front(v);
+          return;
+        }
+        charge_fetch(v, random);
+        if (lru_capacity == 0) return;  // no fill region: nothing retained
+        if (cached_count >= lru_capacity) {
+          const VertexId victim = lru_prev[v_count];
+          lru_unlink(victim);
+          in_cache[victim] = false;
+          --cached_count;
+        }
+        in_cache[v] = true;
+        lru_push_front(v);
+        ++cached_count;
+        return;
+      case ReplacementKind::kBelady: {
+        GNNIE_ASSERT(acc_idx < next_use.size(), "belady trace out of sync with the run");
+        const std::uint64_t nu = next_use[acc_idx++];
+        if (in_cache[v]) {
+          ++rep.buffer_hits;
+          by_next_use.erase({belady_key[v], v});
+        } else {
+          charge_fetch(v, random);
+          if (by_next_use.size() >= n) {
+            // Evict the cached vertex whose next use is farthest away
+            // (never-used-again entries sort last and leave first).
+            const auto farthest = std::prev(by_next_use.end());
+            in_cache[farthest->second] = false;
+            by_next_use.erase(farthest);
+          }
+          in_cache[v] = true;
+        }
+        belady_key[v] = nu;
+        by_next_use.insert({belady_key[v], v});
+        return;
+      }
     }
-    if (cached_count >= n) {
-      const VertexId victim = lru_prev[v_count];  // tail = least recently used
-      lru_unlink(victim);
-      in_cache[victim] = false;
-      --cached_count;
-    }
-    in_cache[v] = true;
-    lru_push_front(v);
-    ++cached_count;
-    if (hbm_ != nullptr) {
-      hbm_->access(prop_addr(v), prop_bytes, false, MemClient::kInput);
-      hbm_->access(layout_.adjacency_base + static_cast<std::uint64_t>(v) * 16, 8 +
-                       static_cast<Bytes>(g.degree(v)) * 4,
-                   false, MemClient::kInput);
-    }
-    rep.dram_accesses += 2;
-    rep.dram_bytes += prop_bytes + 8 + static_cast<Bytes>(g.degree(v)) * 4;
-    rep.input_fetch_bytes += prop_bytes + 8 + static_cast<Bytes>(g.degree(v)) * 4;
-    if (random) ++rep.random_dram_accesses;
   };
 
   const std::uint32_t total_cpes = config_.array.total_cpes();
@@ -885,6 +995,11 @@ Matrix AggregationEngine::run_on_demand(const AggregationTask& task, Aggregation
   std::uint64_t window_sfu = 0;
   std::uint32_t window_max_deg = 0;
   if (hbm_ != nullptr) hbm_->begin_epoch();
+
+  // Dual-cache hub preload: one sequential sweep over the degree-order
+  // prefix, charged to the first accounting window. Preloads are fills,
+  // not lookups — they do not count as buffer accesses.
+  for (VertexId v : pinned_preload) charge_fetch(v, /*random=*/false);
 
   auto flush_window = [&] {
     std::uint64_t compute_it = 0;

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "common/histogram.hpp"
@@ -48,6 +49,11 @@ struct ReverseAdjacency {
 
   explicit ReverseAdjacency(const Csr& g);
 };
+
+/// Sentinel for AggregationTask::dual_pinned_hint: no plan-level precompute,
+/// derive the dual-cache split here (cache::best_dual_split over the trace).
+inline constexpr std::uint64_t kNoDualPinnedHint =
+    std::numeric_limits<std::uint64_t>::max();
 
 enum class AggKind {
   kGcnNormalizedSum,  ///< Σ hw_j/√(d̃i·d̃j), self loop included (GCN)
@@ -89,6 +95,15 @@ struct AggregationTask {
   /// task's graph and feature width. 0 → derived here via cache_capacity()
   /// (the derived value is never 0). Must equal the derived value.
   std::uint64_t cache_capacity_hint = 0;
+  /// Plan-level precompute of the dual-cache pinned-region size for this
+  /// task (GraphPlan::dual_pinned_for_width). kNoDualPinnedHint → searched
+  /// here per run. Only read by the kDualPinnedLru replacement discipline.
+  std::uint64_t dual_pinned_hint = kNoDualPinnedHint;
+  /// When non-null, the engine appends its vertex access sequence here:
+  /// on-demand modes log every input-buffer access (the reference string
+  /// the cache/ subsystem replays); subgraph mode logs each DRAM vertex
+  /// fetch. Recording does not perturb the run.
+  std::vector<VertexId>* access_log = nullptr;
 };
 
 struct AggregationReport {
@@ -110,6 +125,17 @@ struct AggregationReport {
   Bytes input_fetch_bytes = 0;
   std::uint64_t evictions = 0;
   std::uint64_t refetches = 0;             ///< vertices fetched after round 1
+  /// Input-buffer lookups / hits in the on-demand modes (zero in subgraph
+  /// mode, whose residency is governed by α/γ rather than per-access
+  /// replacement). hits/accesses is the hit rate the cache/ trace replays
+  /// reproduce exactly.
+  std::uint64_t buffer_accesses = 0;
+  std::uint64_t buffer_hits = 0;
+  /// Subgraph-mode evictions forced by a full set (§VI/Fig. 9 model) rather
+  /// than the α < γ rule — what the set-aware layout exists to reduce.
+  std::uint64_t set_conflict_evictions = 0;
+  /// Dual-cache mode: vertices preloaded into the pinned hub region.
+  std::uint64_t dual_pinned_vertices = 0;
   std::uint64_t partial_spills = 0;        ///< incomplete partials pushed to DRAM
   std::uint64_t gamma_escalations = 0;     ///< dynamic-γ deadlock recoveries
   /// True if the run fell back to the on-demand residue sweep (a full
@@ -161,7 +187,8 @@ class AggregationEngine {
  private:
   Matrix run_subgraph(const AggregationTask& task, const CachePolicy& policy,
                       AggregationReport& rep);
-  Matrix run_on_demand(const AggregationTask& task, AggregationReport& rep);
+  Matrix run_on_demand(const AggregationTask& task, const CachePolicy& policy,
+                       AggregationReport& rep);
 
   const EngineConfig& config_;
   HbmModel* hbm_;

@@ -2,23 +2,36 @@
 // §VIII-E ablation). A CachePolicy decides (a) how vertices are laid out in
 // DRAM — i.e. in what order the subgraph machinery fetches them — and (b)
 // whether the subgraph machinery runs at all, or vertices instead pull
-// their neighbors on demand through an LRU input buffer (the HyGCN-style
-// "no graph-specific caching" reference).
+// their neighbors on demand through a replacement-managed input buffer.
 //
-// The three shipped policies are the paper's three cache regimes:
+// The policy family (the paper's three regimes plus the workload-aware
+// allocation subsystem, src/cache/):
 //   * degree-aware (CP, §VI): descending-degree-bin layout, subgraph
 //     machinery — the GNNIE proposal;
 //   * ID-order: same machinery over a plain vertex-ID layout — isolates
 //     the layout's contribution from the machinery's;
-//   * on-demand: per-vertex neighbor pulls, random DRAM on miss — the
-//     HyGCN-style baseline.
+//   * on-demand: per-vertex neighbor pulls through an LRU buffer, random
+//     DRAM on miss — the HyGCN-style baseline;
+//   * set-aware: subgraph machinery over a conflict-aware layout that
+//     deals the degree order across DRAM blocks so no cache set fills with
+//     long-lived hubs at once (uses the §VI/Fig. 9 set-associative model);
+//   * dual-cache (DCI, arXiv:2503.01281): on-demand pulls with the buffer
+//     split into a pinned hub region — sized per workload from the
+//     recorded access trace (cache/alloc.hpp) — and an LRU fill region;
+//   * belady-oracle (Ginex, arXiv:2208.09151): on-demand pulls with
+//     offline-optimal replacement over the deterministic access sequence —
+//     the upper bound every heuristic's hit rate is reported against.
 //
 // AggregationEngine dispatches through this interface; the deprecated
 // OptimizationFlags::degree_aware_cache / CacheConfig::on_demand_baseline
-// booleans are mapped through kind_from_flags() for legacy callers.
+// booleans are mapped through kind_from_flags() for legacy callers. The
+// degree-aware kind stays the default everywhere; the new kinds are
+// strictly opt-in.
 #pragma once
 
 #include <memory>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "core/engine_config.hpp"
@@ -26,10 +39,23 @@
 
 namespace gnnie {
 
-enum class CachePolicyKind { kDegreeAware, kIdOrder, kOnDemand };
+enum class CachePolicyKind {
+  kDegreeAware,
+  kIdOrder,
+  kOnDemand,
+  kSetAware,
+  kDualCache,
+  kBeladyOracle,
+};
 
 const char* to_string(CachePolicyKind kind);
 const std::vector<CachePolicyKind>& all_cache_policy_kinds();
+/// Inverse of to_string; nullopt for unknown names.
+std::optional<CachePolicyKind> cache_policy_kind_from_string(std::string_view name);
+
+/// Replacement discipline of the on-demand pull engine, for policies
+/// without subgraph machinery (ignored otherwise).
+enum class ReplacementKind { kLru, kBelady, kDualPinnedLru };
 
 class CachePolicy {
  public:
@@ -40,13 +66,32 @@ class CachePolicy {
 
   /// True: aggregation runs the cached-subgraph machinery (evictions, γ,
   /// Rounds) over layout_order(). False: the on-demand pull engine runs
-  /// instead and layout_order() is irrelevant.
+  /// instead, with replacement() managing the input buffer.
   virtual bool uses_subgraph_machinery() const = 0;
 
+  /// How the on-demand engine replaces buffer entries when
+  /// uses_subgraph_machinery() is false. LRU is the HyGCN baseline;
+  /// kBelady replays perfect future knowledge; kDualPinnedLru pins a hub
+  /// region and runs LRU over the rest.
+  virtual ReplacementKind replacement() const { return ReplacementKind::kLru; }
+
   /// DRAM layout = processing order: order[i] is the vertex fetched i-th.
+  /// Every policy returns a full permutation of [0, |V|): for on-demand
+  /// kinds it is the pull order (and the hot prefix the trace-replay
+  /// analysis pins, cache/alloc.hpp), even though the subgraph machinery
+  /// never runs over it.
   virtual std::vector<VertexId> layout_order(const Csr& g) const = 0;
 
+  /// Factory over the kind enum. The switch is exhaustive with no default:
+  /// adding a CachePolicyKind without a factory entry is a compile error
+  /// (-Werror=switch), not a silent fallthrough.
   static std::unique_ptr<CachePolicy> make(CachePolicyKind kind);
+
+  /// The set-aware policy parameterized by the buffer geometry it lays out
+  /// for (make(kSetAware) uses the paper's 4-way / 8-vertex-block Fig. 9
+  /// configuration). associativity 0 degenerates to the degree-aware order.
+  static std::unique_ptr<CachePolicy> make_set_aware(std::uint32_t associativity,
+                                                     std::uint32_t block_vertices);
 
   /// Mapping from the deprecated config booleans, for callers still on the
   /// GnnieEngine shim: degree_aware_cache → kDegreeAware; otherwise

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "cache/access_trace.hpp"
+#include "cache/alloc.hpp"
 #include "common/require.hpp"
 #include "core/attention.hpp"
 #include "graph/reorder.hpp"
@@ -30,6 +32,12 @@ GraphPlan::SampledBinding::SampledBinding(Csr g, const CachePolicy& pol,
                                                    AggKind::kMax);
   working_set_bytes =
       AggregationEngine::working_set_bytes_for(config, graph, feature_width, AggKind::kMax);
+  if (pol.kind() == CachePolicyKind::kDualCache) {
+    // Per-plan dual-cache artifact: search the pinned/LRU split over this
+    // layer's recorded access trace so runs skip the per-run search.
+    dual_pinned =
+        cache::best_dual_split(cache::AccessTrace::from_graph(graph), capacity, graph).pinned;
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -259,6 +267,15 @@ GraphPlanPtr CompiledModel::plan(const Csr& g, std::vector<Csr> sampled_per_laye
           std::max(plan->warm_working_set_bytes_,
                    AggregationEngine::working_set_bytes_for(s.config, g, width, kind));
     }
+    if (s.policy->kind() == CachePolicyKind::kDualCache) {
+      // Dual-cache plan artifact: one split search per distinct capacity,
+      // over the trace the on-demand engine will deterministically replay.
+      const cache::AccessTrace trace = cache::AccessTrace::from_graph(g);
+      for (const auto& [width, capacity] : plan->agg_capacities_) {
+        plan->dual_pinned_.emplace_back(width,
+                                        cache::best_dual_split(trace, capacity, g).pinned);
+      }
+    }
   }
 
   if (cacheable) {
@@ -336,7 +353,10 @@ struct Executor {
         task.positions = &binding.positions;
       }
       if (!binding.initial_alpha.empty()) task.initial_alpha = &binding.initial_alpha;
-      if (f == binding.capacity_width) task.cache_capacity_hint = binding.capacity;
+      if (f == binding.capacity_width) {
+        task.cache_capacity_hint = binding.capacity;
+        task.dual_pinned_hint = binding.dual_pinned;
+      }
     } else {
       task.graph = &plan.graph();
       if (plan.has_layout()) {
@@ -345,6 +365,7 @@ struct Executor {
       }
       if (plan.has_initial_alpha()) task.initial_alpha = &plan.initial_alpha();
       task.cache_capacity_hint = plan.cache_capacity_for_width(f);
+      if (const auto pinned = plan.dual_pinned_for_width(f)) task.dual_pinned_hint = *pinned;
     }
   }
 

@@ -86,6 +86,18 @@ class GraphPlan {
     return 0;
   }
 
+  /// Dual-cache plan artifact: the pinned hub-region size chosen by the
+  /// split search over the recorded access trace (cache::best_dual_split)
+  /// for aggregation at one of the model's feature widths. nullopt for
+  /// other widths and for every policy other than kDualCache (no other
+  /// policy reads it).
+  std::optional<std::uint64_t> dual_pinned_for_width(std::size_t feature_width) const {
+    for (const auto& [width, pinned] : dual_pinned_) {
+      if (width == feature_width) return pinned;
+    }
+    return std::nullopt;
+  }
+
   /// On-chip bytes of the plan's cached feature working set (the largest
   /// aggregation working set across the model's feature widths / sampled
   /// layers). The serving cluster's per-die warmth model tracks residency
@@ -107,6 +119,9 @@ class GraphPlan {
     std::size_t capacity_width = 0;
     std::uint64_t capacity = 0;
     Bytes working_set_bytes = 0;  ///< on-chip bytes of this layer's working set
+    /// Dual-cache pinned-region size for this layer's sampled adjacency
+    /// (kNoDualPinnedHint unless the policy is kDualCache).
+    std::uint64_t dual_pinned = kNoDualPinnedHint;
 
     SampledBinding(Csr g, const CachePolicy& pol, const EngineConfig& config,
                    std::size_t feature_width);
@@ -141,6 +156,8 @@ class GraphPlan {
   /// aggregation stages run at. Tiny (a handful of entries), so a flat
   /// vector beats a map.
   std::vector<std::pair<std::size_t, std::uint64_t>> agg_capacities_;
+  /// (feature width → dual-cache pinned size); filled only for kDualCache.
+  std::vector<std::pair<std::size_t, std::uint64_t>> dual_pinned_;
   Bytes warm_working_set_bytes_ = 0;
 };
 

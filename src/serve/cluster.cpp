@@ -38,7 +38,14 @@ Cluster::Cluster(const CompiledModel& reference, FleetSpec spec)
                   "fleet configs must match the reference warmth enablement");
     GNNIE_REQUIRE(cfg.engine.batching.max_coalesce == ref.batching.max_coalesce,
                   "fleet configs must match the reference max_coalesce");
-    config_models_.push_back(Engine(cfg.engine).compile(model_.model(), model_.weights()));
+    // Per-die cache policy: an explicit kind overrides the config-derived
+    // default (null → Engine falls back to the deprecated booleans).
+    std::shared_ptr<const CachePolicy> policy;
+    if (cfg.cache_policy.has_value()) {
+      policy = std::shared_ptr<const CachePolicy>(CachePolicy::make(*cfg.cache_policy));
+    }
+    config_models_.push_back(
+        Engine(cfg.engine, std::move(policy)).compile(model_.model(), model_.weights()));
     config_scale_.push_back(ref.clock_hz / cfg.engine.clock_hz);
   }
   die_config_ = spec_.assignment;

@@ -96,10 +96,11 @@ class Cluster {
 
   /// A heterogeneous fleet: die d runs `spec.configs[spec.assignment[d]]`.
   /// Each distinct config gets its own compile of the reference model's
-  /// (model, weights) — with that config's *default-derived* cache policy;
-  /// a custom CachePolicy handed to the reference Engine does not propagate
-  /// to fleet configs. Throws unless the spec validates and every config
-  /// matches the reference's warmth enablement and max_coalesce.
+  /// (model, weights) — with FleetDieConfig::cache_policy when set, else
+  /// that config's *default-derived* cache policy; a custom CachePolicy
+  /// handed to the reference Engine does not propagate to fleet configs.
+  /// Throws unless the spec validates and every config matches the
+  /// reference's warmth enablement and max_coalesce.
   Cluster(const CompiledModel& reference, FleetSpec spec);
 
   std::size_t die_count() const { return die_count_; }

@@ -21,9 +21,11 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "core/cache_policy.hpp"
 #include "core/engine_config.hpp"
 
 namespace gnnie::serve {
@@ -35,6 +37,13 @@ struct FleetDieConfig {
   EngineConfig engine;
   double cost = 1.0;
   std::string label;  ///< shown in reports; e.g. "A", "E", "big"
+  /// Cache policy the dies built from this config run. nullopt → derived
+  /// from the engine config's (deprecated) booleans, i.e. the degree-aware
+  /// default — so existing fleets are untouched. Setting it makes the
+  /// policy a per-die provisioning knob: a fleet can mix, say, dual-cache
+  /// dies for skewed workloads with degree-aware dies for the rest, and the
+  /// cluster's service memo prices each request per die accordingly.
+  std::optional<CachePolicyKind> cache_policy;
 };
 
 /// A cluster's die lineup: the distinct configs and each die's pick.
