@@ -1,9 +1,11 @@
 #include "bench_util.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 
 namespace gnnie::bench {
 
@@ -80,6 +82,24 @@ Workload make_workload(const DatasetSpec& spec, double scale, GnnKind kind,
 InferenceReport run_gnnie(const Workload& w, const EngineConfig& cfg) {
   GnnieEngine engine(cfg);
   return engine.run(w.model, w.weights, w.data.graph, w.data.features, w.sampled).report;
+}
+
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn) {
+  const std::size_t hw = std::thread::hardware_concurrency();
+  const std::size_t workers = hw == 0 ? 1 : (count < hw ? count : hw);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (std::size_t i = next.fetch_add(1); i < count; i = next.fetch_add(1)) fn(i);
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (std::size_t t = 1; t < workers; ++t) threads.emplace_back(worker);
+  worker();
+  for (std::thread& t : threads) t.join();
 }
 
 bool json_braces_balanced(const std::string& s) {

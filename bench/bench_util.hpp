@@ -1,8 +1,10 @@
 // Shared helpers for the figure/table bench binaries: flag parsing
-// (--scale, --seed, --datasets) and paper-vs-measured reporting.
+// (--scale, --seed, --datasets), paper-vs-measured reporting, and a
+// work-stealing parallel_for for replaying independent sweep cells.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -56,5 +58,14 @@ Workload make_workload(const DatasetSpec& spec, double scale, GnnKind kind,
 
 /// Runs GNNIE and returns the report (output discarded).
 InferenceReport run_gnnie(const Workload& w, const EngineConfig& cfg);
+
+/// Runs fn(i) for every i in [0, count) across hardware threads (atomic
+/// work-stealing; falls back to the calling thread when count is small or
+/// concurrency is unavailable). The serving sweeps use this to replay
+/// independent (trace, load) cells in parallel: every cell is a pure
+/// function of its inputs — Cluster::simulate is const and thread-safe —
+/// so results are identical to the sequential loop, just computed sooner.
+/// fn must not throw.
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
 
 }  // namespace gnnie::bench

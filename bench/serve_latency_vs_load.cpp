@@ -20,12 +20,18 @@
 // for a file) and exits non-zero if the emitted JSON is malformed, so CI
 // can smoke this binary directly:
 //
+// Sweep cells are independent (same trace seed, stateless schedulers,
+// const thread-safe Cluster::simulate), so each sweep computes its cells
+// with bench::parallel_for and then emits serially in the original order —
+// output is byte-identical to the sequential loop.
+//
 //   $ ./bench_serve_latency_vs_load --requests=64 --scale=0.05
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -97,21 +103,33 @@ int main(int argc, char** argv) {
        << ",\"service_cycles\":" << service
        << ",\"scheduler\":\"" << scheduler->name() << "\",\"curves\":[";
 
+  // Replay every (die-count, rho) cell in parallel; emit serially below.
+  std::vector<serve::Cluster> knee_clusters;
+  knee_clusters.reserve(die_counts.size());
+  for (std::size_t dies : die_counts) knee_clusters.emplace_back(compiled, dies);
+  std::vector<ServingReport> knee_reports(die_counts.size() * rhos.size());
+  bench::parallel_for(knee_reports.size(), [&](std::size_t cell) {
+    const std::size_t ci = cell / rhos.size();
+    const std::size_t ri = cell % rhos.size();
+    // ρ = (service / gap) / dies  ⇒  gap = service / (ρ · dies).
+    const double mean_gap = static_cast<double>(service) /
+                            (rhos[ri] * static_cast<double>(die_counts[ci]));
+    serve::RequestTrace trace = serve::RequestTrace::poisson(
+        {{plan, &w.data.features}}, opt.requests, mean_gap, opt.seed);
+    knee_reports[cell] = knee_clusters[ci].simulate(trace, *scheduler);
+  });
+
   for (std::size_t ci = 0; ci < die_counts.size(); ++ci) {
     const std::size_t dies = die_counts[ci];
-    serve::Cluster cluster(compiled, dies);
     std::printf("--- %zu die%s (shortest-queue) ---\n", dies, dies == 1 ? "" : "s");
     std::printf("%8s %14s %14s %14s %12s %8s\n", "rho", "p50 (cyc)", "p95 (cyc)",
                 "p99 (cyc)", "queue depth", "util");
     json << (ci == 0 ? "" : ",") << "{\"dies\":" << dies << ",\"points\":[";
     for (std::size_t ri = 0; ri < rhos.size(); ++ri) {
       const double rho = rhos[ri];
-      // ρ = (service / gap) / dies  ⇒  gap = service / (ρ · dies).
       const double mean_gap =
           static_cast<double>(service) / (rho * static_cast<double>(dies));
-      serve::RequestTrace trace = serve::RequestTrace::poisson(
-          {{plan, &w.data.features}}, opt.requests, mean_gap, opt.seed);
-      const ServingReport rep = cluster.simulate(trace, *scheduler);
+      const ServingReport& rep = knee_reports[ci * rhos.size() + ri];
       double util = 0.0;
       for (std::size_t d = 0; d < dies; ++d) util += rep.die_utilization(d);
       util /= static_cast<double>(dies);
@@ -152,22 +170,53 @@ int main(int argc, char** argv) {
                                          compiled.plan(w2.data.graph)->warm_working_set_bytes());
   json << ",\"warmth\":{\"dies\":" << warm_dies
        << ",\"die_budget_bytes\":" << one_plan_budget << ",\"curves\":[";
-  bool first_curve = true;
+
+  // Per-warmth compiled state built serially, then every
+  // (warmth, scheduler, rho) cell replayed in parallel.
+  struct WarmSetup {
+    GraphPlanPtr plan_a;
+    GraphPlanPtr plan_b;
+    double mean_service = 0.0;
+    std::unique_ptr<serve::Cluster> cluster;
+  };
+  std::vector<WarmSetup> warm_setups;
   for (bool warmth_on : {false, true}) {
     EngineConfig config = EngineConfig::paper_default(false);
     config.warmth.enabled = warmth_on;
     config.warmth.die_budget_bytes = one_plan_budget;
     Engine warm_engine(config);
     CompiledModel warm_compiled = warm_engine.compile(w.model, w.weights);
-    GraphPlanPtr plan_a = warm_compiled.plan(w.data.graph);
-    GraphPlanPtr plan_b = warm_compiled.plan(w2.data.graph);
-    const Cycles cost_a = warm_compiled.run_cost({plan_a, &w.data.features}).total_cycles;
-    const Cycles cost_b = warm_compiled.run_cost({plan_b, &features_b}).total_cycles;
-    const double mean_service = (4.0 * cost_a + cost_b) / 5.0;
-    serve::Cluster warm_cluster(warm_compiled, warm_dies);
+    WarmSetup setup;
+    setup.plan_a = warm_compiled.plan(w.data.graph);
+    setup.plan_b = warm_compiled.plan(w2.data.graph);
+    const Cycles cost_a =
+        warm_compiled.run_cost({setup.plan_a, &w.data.features}).total_cycles;
+    const Cycles cost_b = warm_compiled.run_cost({setup.plan_b, &features_b}).total_cycles;
+    setup.mean_service = (4.0 * cost_a + cost_b) / 5.0;
+    setup.cluster = std::make_unique<serve::Cluster>(warm_compiled, warm_dies);
+    warm_setups.push_back(std::move(setup));
+  }
+  const std::vector<serve::SchedulerKind> warm_kinds = serve::all_scheduler_kinds();
+  std::vector<ServingReport> warm_reports(warm_setups.size() * warm_kinds.size() *
+                                          rhos.size());
+  bench::parallel_for(warm_reports.size(), [&](std::size_t cell) {
+    const std::size_t wi = cell / (warm_kinds.size() * rhos.size());
+    const std::size_t ki = (cell / rhos.size()) % warm_kinds.size();
+    const std::size_t ri = cell % rhos.size();
+    const WarmSetup& setup = warm_setups[wi];
+    auto sched = serve::Scheduler::make(warm_kinds[ki]);
+    const double mean_gap = setup.mean_service / (rhos[ri] * static_cast<double>(warm_dies));
+    serve::RequestTrace trace = serve::RequestTrace::poisson(
+        {{setup.plan_a, &w.data.features, 4.0}, {setup.plan_b, &features_b, 1.0}},
+        opt.requests, mean_gap, opt.seed);
+    warm_reports[cell] = setup.cluster->simulate(trace, *sched);
+  });
 
-    for (serve::SchedulerKind kind : serve::all_scheduler_kinds()) {
-      auto warm_sched = serve::Scheduler::make(kind);
+  bool first_curve = true;
+  for (std::size_t wi = 0; wi < warm_setups.size(); ++wi) {
+    const bool warmth_on = wi != 0;
+    for (std::size_t ki = 0; ki < warm_kinds.size(); ++ki) {
+      auto warm_sched = serve::Scheduler::make(warm_kinds[ki]);
       std::printf("--- %s, warmth %s ---\n", warm_sched->name(), warmth_on ? "on" : "off");
       std::printf("%8s %14s %14s %10s %8s %12s %12s\n", "rho", "p50 (cyc)", "p99 (cyc)",
                   "warm-hit", "swaps", "warm p99", "cold p99");
@@ -176,11 +225,8 @@ int main(int argc, char** argv) {
       first_curve = false;
       for (std::size_t ri = 0; ri < rhos.size(); ++ri) {
         const double rho = rhos[ri];
-        const double mean_gap = mean_service / (rho * static_cast<double>(warm_dies));
-        serve::RequestTrace trace = serve::RequestTrace::poisson(
-            {{plan_a, &w.data.features, 4.0}, {plan_b, &features_b, 1.0}}, opt.requests,
-            mean_gap, opt.seed);
-        const ServingReport rep = warm_cluster.simulate(trace, *warm_sched);
+        const ServingReport& rep =
+            warm_reports[(wi * warm_kinds.size() + ki) * rhos.size() + ri];
         std::printf("%8.2f %14llu %14llu %9.2f%% %8llu %12llu %12llu\n", rho,
                     (unsigned long long)rep.p50_latency_cycles(),
                     (unsigned long long)rep.p99_latency_cycles(),
@@ -211,30 +257,48 @@ int main(int argc, char** argv) {
   const std::size_t batch_dies = 4;
   std::printf("=== coalescing sweep: one graph, %zu dies ===\n", batch_dies);
   json << ",\"batching\":{\"dies\":" << batch_dies << ",\"curves\":[";
-  bool first_batch_curve = true;
+
+  struct BatchSetup {
+    std::uint32_t cap = 1;
+    GraphPlanPtr plan;
+    Cycles service = 0;
+    std::unique_ptr<serve::Cluster> cluster;
+  };
+  std::vector<BatchSetup> batch_setups;
   for (std::uint32_t cap : {1u, 8u}) {
     EngineConfig config = EngineConfig::paper_default(false);
     config.batching.max_coalesce = cap;
     Engine batch_engine(config);
     CompiledModel batch_compiled = batch_engine.compile(w.model, w.weights);
-    GraphPlanPtr batch_plan = batch_compiled.plan(w.data.graph);
-    const Cycles batch_service =
-        batch_compiled.run_cost({batch_plan, &w.data.features}).total_cycles;
-    serve::Cluster batch_cluster(batch_compiled, batch_dies);
-    auto batch_sched = serve::Scheduler::make(serve::SchedulerKind::kShortestQueue);
-    std::printf("--- max_coalesce %u ---\n", cap);
+    BatchSetup setup;
+    setup.cap = cap;
+    setup.plan = batch_compiled.plan(w.data.graph);
+    setup.service = batch_compiled.run_cost({setup.plan, &w.data.features}).total_cycles;
+    setup.cluster = std::make_unique<serve::Cluster>(batch_compiled, batch_dies);
+    batch_setups.push_back(std::move(setup));
+  }
+  auto batch_sched = serve::Scheduler::make(serve::SchedulerKind::kShortestQueue);
+  std::vector<ServingReport> batch_reports(batch_setups.size() * rhos.size());
+  bench::parallel_for(batch_reports.size(), [&](std::size_t cell) {
+    const BatchSetup& setup = batch_setups[cell / rhos.size()];
+    const double mean_gap = static_cast<double>(setup.service) /
+                            (rhos[cell % rhos.size()] * static_cast<double>(batch_dies));
+    serve::RequestTrace trace = serve::RequestTrace::poisson(
+        {{setup.plan, &w.data.features}}, opt.requests, mean_gap, opt.seed);
+    batch_reports[cell] = setup.cluster->simulate(trace, *batch_sched);
+  });
+
+  bool first_batch_curve = true;
+  for (std::size_t bi = 0; bi < batch_setups.size(); ++bi) {
+    std::printf("--- max_coalesce %u ---\n", batch_setups[bi].cap);
     std::printf("%8s %14s %14s %10s %12s %14s\n", "rho", "p50 (cyc)", "p99 (cyc)",
                 "coalesce", "mean batch", "saved (cyc)");
-    json << (first_batch_curve ? "" : ",") << "{\"max_coalesce\":" << cap
+    json << (first_batch_curve ? "" : ",") << "{\"max_coalesce\":" << batch_setups[bi].cap
          << ",\"points\":[";
     first_batch_curve = false;
     for (std::size_t ri = 0; ri < rhos.size(); ++ri) {
       const double rho = rhos[ri];
-      const double mean_gap =
-          static_cast<double>(batch_service) / (rho * static_cast<double>(batch_dies));
-      serve::RequestTrace trace = serve::RequestTrace::poisson(
-          {{batch_plan, &w.data.features}}, opt.requests, mean_gap, opt.seed);
-      const ServingReport rep = batch_cluster.simulate(trace, *batch_sched);
+      const ServingReport& rep = batch_reports[bi * rhos.size() + ri];
       std::printf("%8.2f %14llu %14llu %9.2f%% %12.2f %14llu\n", rho,
                   (unsigned long long)rep.p50_latency_cycles(),
                   (unsigned long long)rep.p99_latency_cycles(),

@@ -15,12 +15,18 @@
 // scripts/check_bench.py gates against bench/baseline_slo.json in CI.
 // Exits non-zero if the emitted JSON is malformed:
 //
+// The (fleet, rho) cells are independent — one trace seed, a stateless
+// scheduler/admission pair, const thread-safe Cluster::simulate — so they
+// are replayed with bench::parallel_for and emitted serially in the
+// original order (output is byte-identical to the sequential loop).
+//
 //   $ ./bench_serve_slo_vs_cost --requests=64 --scale=0.03
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -125,14 +131,23 @@ int main(int argc, char** argv) {
        << ",\"scheduler\":\"" << scheduler->name()
        << "\",\"admission\":\"" << admission->name() << "\",\"fleets\":[";
 
-  for (std::size_t mi = 0; mi < mixes.size(); ++mi) {
-    const serve::FleetSpec spec = serve::FleetSpec::from_designs(mixes[mi]);
-    serve::Cluster fleet(compiled, spec);
+  // Per-fleet compiled state built serially, then every (fleet, rho) cell
+  // replayed in parallel and emitted serially below.
+  struct FleetSetup {
+    std::size_t dies = 0;
+    double fleet_rate = 0.0;
+    std::unique_ptr<serve::Cluster> cluster;
+  };
+  std::vector<FleetSetup> fleet_setups;
+  for (const std::string& mix : mixes) {
+    const serve::FleetSpec spec = serve::FleetSpec::from_designs(mix);
+    FleetSetup setup;
+    setup.dies = spec.die_count();
+    setup.cluster = std::make_unique<serve::Cluster>(compiled, spec);
 
     // Aggregate capacity of this mix: each die serves the 4:1 blend at its
     // own config's mean service time, so the fleet's service rate is the
     // sum of per-die rates and ρ = arrival rate / that sum.
-    double fleet_rate = 0.0;
     for (std::size_t d = 0; d < spec.die_count(); ++d) {
       const serve::FleetDieConfig& die_cfg = spec.configs[spec.assignment[d]];
       CompiledModel on_die = Engine(die_cfg.engine).compile(w.model, w.weights);
@@ -142,22 +157,34 @@ int main(int argc, char** argv) {
           on_die.run_cost({on_die.plan(w2.data.graph), &features_b}).total_cycles;
       const double mean_service =
           (4.0 * static_cast<double>(die_a) + static_cast<double>(die_b)) / 5.0;
-      fleet_rate += 1.0 / mean_service;
+      setup.fleet_rate += 1.0 / mean_service;
     }
+    fleet_setups.push_back(std::move(setup));
+  }
+  std::vector<ServingReport> fleet_reports(fleet_setups.size() * rhos.size());
+  bench::parallel_for(fleet_reports.size(), [&](std::size_t cell) {
+    const FleetSetup& setup = fleet_setups[cell / rhos.size()];
+    const double mean_gap = 1.0 / (rhos[cell % rhos.size()] * setup.fleet_rate);
+    serve::RequestTrace trace =
+        serve::RequestTrace::poisson({tight, loose}, opt.requests, mean_gap, opt.seed);
+    fleet_reports[cell] = setup.cluster->simulate(trace, *scheduler, *admission);
+  });
+
+  for (std::size_t mi = 0; mi < mixes.size(); ++mi) {
+    const FleetSetup& setup = fleet_setups[mi];
+    const serve::Cluster& fleet = *setup.cluster;
 
     std::printf("--- fleet %s (cost %.2f, %zu dies) ---\n", fleet.fleet().mix_label().c_str(),
-                fleet.fleet_cost(), spec.die_count());
+                fleet.fleet_cost(), setup.dies);
     std::printf("%8s %12s %12s %12s %10s %14s\n", "rho", "attainment", "tight", "loose",
                 "shed", "p99 (cyc)");
     json << (mi == 0 ? "" : ",") << "{\"mix\":\"" << fleet.fleet().mix_label()
-         << "\",\"cost\":" << fleet.fleet_cost() << ",\"dies\":" << spec.die_count()
+         << "\",\"cost\":" << fleet.fleet_cost() << ",\"dies\":" << setup.dies
          << ",\"points\":[";
     for (std::size_t ri = 0; ri < rhos.size(); ++ri) {
       const double rho = rhos[ri];
-      const double mean_gap = 1.0 / (rho * fleet_rate);
-      serve::RequestTrace trace =
-          serve::RequestTrace::poisson({tight, loose}, opt.requests, mean_gap, opt.seed);
-      const ServingReport rep = fleet.simulate(trace, *scheduler, *admission);
+      const double mean_gap = 1.0 / (rho * setup.fleet_rate);
+      const ServingReport& rep = fleet_reports[mi * rhos.size() + ri];
       const double shed_rate =
           static_cast<double>(rep.shed_count()) / static_cast<double>(rep.requests.size());
       std::printf("%8.2f %11.1f%% %11.1f%% %11.1f%% %9.1f%% %14llu\n", rho,

@@ -16,13 +16,20 @@ itself:
     bench/baseline_cache.json): gates every policy's replayed hit rate per
     workload — an absolute drop beyond --hit-threshold fails — plus the
     oracle's own hit rate (the denominator must not silently sink).
+  * bench_serve_throughput (top-level "scenarios" key; baseline
+    bench/baseline_throughput.json): gates the simulator's own wall-clock
+    events/sec per scenario — a relative drop beyond --threshold fails.
+    The baseline is a conservative floor, not a measured median (see the
+    comment in that file); a checksum mismatch is a warning, not a
+    failure, because trace generation rounds through libm.
 
 The serving simulator is fully deterministic in modeled cycles (no
-wall-clock anywhere), so any drift is a real modeling/perf change, not
-noise; the thresholds only leave headroom for cross-libm rounding in the
-Poisson trace generator. Exits non-zero on any regression. An improvement
-beyond the threshold passes but is reported so the baseline can be
-refreshed:
+wall-clock anywhere), so for the modeled-metric reports any drift is a
+real modeling/perf change, not noise; the thresholds only leave headroom
+for cross-libm rounding in the Poisson trace generator. The throughput
+report is the one wall-clock gate — only run it on like builds (Release,
+no sanitizers). Exits non-zero on any regression. An improvement beyond
+the threshold passes but is reported so the baseline can be refreshed:
 
   ./build/bench_serve_latency_vs_load --requests=24 --scale=0.03 \
       --json=bench/baseline_serve.json
@@ -30,6 +37,8 @@ refreshed:
       --json=bench/baseline_slo.json
   ./build/bench_fig19_cache_policy_ablation --scale=0.03 \
       --json=bench/baseline_cache.json
+  ./build/bench_serve_throughput --requests=1000000 --scale=0.03
+      # then floor the measured events/sec into bench/baseline_throughput.json
 """
 
 import argparse
@@ -116,6 +125,59 @@ def check_cache(current, baseline, threshold):
     return 0
 
 
+def check_throughput(current, baseline, threshold):
+    """Gate the simulator's wall-clock events/sec per scenario against the
+    conservative floor in the baseline."""
+    for key in ["requests", "scale", "seed"]:
+        if current.get(key) != baseline.get(key):
+            sys.exit(
+                f"check_bench: parameter mismatch on '{key}': current "
+                f"{current.get(key)!r} vs baseline {baseline.get(key)!r} — "
+                "regenerate the baseline with the CI bench arguments")
+
+    cur_scenarios = {s["name"]: s for s in current["scenarios"]}
+    base_scenarios = {s["name"]: s for s in baseline.get("scenarios", [])}
+    if set(cur_scenarios) != set(base_scenarios):
+        sys.exit(f"check_bench: scenario sets differ (current "
+                 f"{sorted(cur_scenarios)} vs baseline {sorted(base_scenarios)}) "
+                 "— refresh the baseline so every scenario stays gated")
+
+    regressions = []
+    improvements = []
+    print(f"gate on wall-clock events/sec (threshold {threshold:.0%} relative "
+          "to the baseline floor):")
+    for name in sorted(cur_scenarios):
+        cur_s, base_s = cur_scenarios[name], base_scenarios[name]
+        cur, base = cur_s["events_per_sec"], base_s["events_per_sec"]
+        delta = (cur - base) / base if base else 0.0
+        verdict = "OK"
+        if delta < -threshold:
+            verdict = "REGRESSION"
+            regressions.append(f"{name} events/sec")
+        elif delta > threshold:
+            # Expected against a floored baseline; listed so an intentional
+            # perf win can tighten the floor.
+            verdict = "above floor"
+            improvements.append(f"{name} events/sec")
+        print(f"  {name:>26}: floor {base:>12.0f}, current {cur:>12.0f} "
+              f"({delta:+.1%}) {verdict}")
+        if cur_s.get("checksum") != base_s.get("checksum"):
+            # Advisory only: the modeled run changed (or libm rounded a trace
+            # differently) — the modeled-metric gates decide pass/fail.
+            print(f"  {name:>26}: note — record checksum moved "
+                  f"({base_s.get('checksum')} -> {cur_s.get('checksum')}); "
+                  "the modeled run differs from the baseline machine's")
+
+    if improvements:
+        print(f"note: {len(improvements)} scenario(s) well above the floor — "
+              "consider tightening the baseline")
+    if regressions:
+        print(f"FAIL: regressed on: {', '.join(regressions)}")
+        return 1
+    print("perf gate passed")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("current", help="JSON emitted by this run's bench")
@@ -138,6 +200,8 @@ def main():
     baseline = load(args.baseline)
     if "workloads" in current:
         return check_cache(current, baseline, args.hit_threshold)
+    if "scenarios" in current:
+        return check_throughput(current, baseline, args.threshold)
     slo_report = "fleets" in current
     rhos = args.rho if args.rho else ([0.8, 1.1] if slo_report else [0.8, 1.25])
 

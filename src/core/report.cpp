@@ -45,6 +45,11 @@ double ServingReport::mean_queue_depth() const {
   if (makespan == 0) return 0.0;
   double waiting_integral = 0.0;
   for (const RequestRecord& r : requests) {
+    // Shed requests are excluded (the same rule sorted_latencies applies):
+    // a shed record's start is stamped at the shed time, so counting its
+    // queue_cycles would charge the queue for a request that was dropped,
+    // not served — shed-heavy runs would report deep queues they never had.
+    if (r.shed) continue;
     waiting_integral += static_cast<double>(r.queue_cycles());
   }
   return waiting_integral / static_cast<double>(makespan);

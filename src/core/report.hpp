@@ -158,7 +158,10 @@ struct ServingReport {
   Cycles max_latency_cycles() const { return latency_percentile(100.0); }
 
   /// Time-averaged number of waiting (queued, not yet in service) requests
-  /// over [0, makespan]. By Little's law this is Σ queue_cycles / makespan.
+  /// over [0, makespan]. By Little's law this is Σ queue_cycles / makespan,
+  /// summed over served requests only — shed requests never reach service,
+  /// so they are excluded here exactly as they are from every latency
+  /// percentile.
   double mean_queue_depth() const;
   /// Fraction of [0, makespan] die `die` spent servicing requests.
   double die_utilization(std::size_t die) const;

@@ -2,20 +2,20 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
 #include <limits>
-#include <map>
-#include <tuple>
 #include <utility>
 #include <vector>
 
 #include "common/require.hpp"
+#include "serve/cost_cache.hpp"
 #include "serve/warmth.hpp"
 
 namespace gnnie::serve {
 
 Cluster::Cluster(CompiledModel model, std::size_t dies)
-    : model_(std::move(model)), die_count_(dies) {
+    : model_(std::move(model)),
+      die_count_(dies),
+      cost_cache_(std::make_shared<ServiceCostCache>()) {
   GNNIE_REQUIRE(dies >= 1, "a cluster needs at least one die");
   // Bookkeeping only: the homogeneous constructor never compiles per-config
   // models — simulate() uses model_ and the requests' own plans directly.
@@ -25,7 +25,10 @@ Cluster::Cluster(CompiledModel model, std::size_t dies)
 }
 
 Cluster::Cluster(const CompiledModel& reference, FleetSpec spec)
-    : model_(reference), die_count_(spec.die_count()), spec_(std::move(spec)) {
+    : model_(reference),
+      die_count_(spec.die_count()),
+      spec_(std::move(spec)),
+      cost_cache_(std::make_shared<ServiceCostCache>()) {
   spec_.validate();
   const EngineConfig& ref = model_.config();
   config_models_.reserve(spec_.configs.size());
@@ -54,42 +57,81 @@ Cluster::Cluster(const CompiledModel& reference, FleetSpec spec)
   }
 }
 
+std::size_t Cluster::costed_triples() const { return cost_cache_->size(); }
+
 namespace {
 
 constexpr Cycles kNever = std::numeric_limits<Cycles>::max();
+constexpr std::uint32_t kNone = std::numeric_limits<std::uint32_t>::max();
 
 /// Mutable per-die simulation state (the Scheduler only ever sees the
-/// DieStatus snapshot view).
+/// DieStatus snapshot view). Queues live in the shared request arena, not
+/// here, so a die is just its running slot.
 struct DieState {
-  std::deque<std::size_t> queue;  ///< waiting request indices, FIFO
   bool busy = false;
   /// Indices of the coalesced group in service (slot order; size 1 when
   /// coalescing is off). The die is busy until the whole slot drains —
-  /// groups are atomic.
+  /// groups are atomic. Reused across slots, so its capacity is paid once.
   std::vector<std::size_t> group;
-  Cycles busy_until = 0;
 };
 
-/// Memoized per-(die config, plan, features) service data. Everything in
-/// here is WARMTH-INDEPENDENT by design: the memo stores the cold report
-/// (and values derived from it alone), never a warm-discounted charge —
-/// warm fractions vary per service and are applied outside the memo
-/// (warm_total_cycles at service start), so warm and cold services of the
-/// same request are charged differently even though they share this entry.
-/// All cycles are in the CONFIG'S OWN clock domain — callers scale into
-/// reference cycles at charge/estimate time.
-struct CostEntry {
-  /// The plan the costed run used: the request's own plan on a homogeneous
-  /// cluster, the per-config re-plan of its graph on a fleet (held here so
-  /// a fleet's plans outlive the plan cache).
-  GraphPlanPtr plan;
-  Bytes working_set = 0;        ///< plan->warm_working_set_bytes()
-  InferenceReport cold_report;  ///< empty when warmth is disabled
-  Cycles cold = 0;
-  Cycles warm_full = 0;  ///< cold minus the full warm discount (== cold when disabled)
-  /// Cycles a coalesced follower of this request saves (0 when coalescing
-  /// is off; weighting stages only, so warmth-independent too).
-  Cycles follower_saving = 0;
+/// The die-completion event queue: one (finish time, die) entry per busy
+/// die, popped in (time, die-index) order — lexicographic pair order makes
+/// simultaneous completions finish in die-index order, exactly the rule the
+/// scan-based loop applied. An entry is immutable once pushed (a slot's
+/// finish never moves) and a die never holds two, so the heap needs no
+/// decrease-key or lazy deletion.
+class CompletionHeap {
+ public:
+  explicit CompletionHeap(std::size_t dies) { items_.reserve(dies); }
+
+  bool empty() const { return items_.empty(); }
+  Cycles next_time() const { return items_.front().first; }
+
+  void push(Cycles at, std::size_t die) {
+    items_.emplace_back(at, die);
+    std::size_t i = items_.size() - 1;
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (items_[parent] <= items_[i]) break;
+      std::swap(items_[parent], items_[i]);
+      i = parent;
+    }
+  }
+
+  /// Removes and returns the die of the earliest event.
+  std::size_t pop_die() {
+    const std::size_t die = items_.front().second;
+    items_.front() = items_.back();
+    items_.pop_back();
+    std::size_t i = 0;
+    while (true) {
+      const std::size_t left = 2 * i + 1;
+      const std::size_t right = left + 1;
+      std::size_t smallest = i;
+      if (left < items_.size() && items_[left] < items_[smallest]) smallest = left;
+      if (right < items_.size() && items_[right] < items_[smallest]) smallest = right;
+      if (smallest == i) break;
+      std::swap(items_[i], items_[smallest]);
+      i = smallest;
+    }
+    return die;
+  }
+
+ private:
+  std::vector<std::pair<Cycles, std::size_t>> items_;
+};
+
+/// An intrusive FIFO over the shared per-request link arena: requests spend
+/// their whole waiting life in exactly one queue, so one next/prev pair per
+/// request backs every die queue plus the global queue with zero per-request
+/// allocation. Supports the three moves the simulator makes: append, put
+/// back at the head (a failed re-offer), and mid-queue removal (coalescing
+/// drain).
+struct ArenaFifo {
+  std::uint32_t head = kNone;
+  std::uint32_t tail = kNone;
+  std::size_t count = 0;
 };
 
 }  // namespace
@@ -131,6 +173,7 @@ ServingReport Cluster::simulate(const RequestTrace& trace, const Scheduler& sche
   report.requests.resize(trace.size());
 
   const std::vector<TracedRequest>& arrivals = trace.requests();
+  GNNIE_REQUIRE(arrivals.size() < kNone, "trace too large for 32-bit request indices");
   for (std::size_t i = 0; i < arrivals.size(); ++i) {
     report.requests[i].stream = arrivals[i].stream;
     report.requests[i].arrival = arrivals[i].arrival;
@@ -148,76 +191,169 @@ ServingReport Cluster::simulate(const RequestTrace& trace, const Scheduler& sche
     return fleet ? spec_.configs[cfg].engine : config;
   };
 
-  // Service cost per distinct (config, plan, features) triple. Runs are
-  // stateless, so the memo is exact; open-loop traces repeat stream
-  // requests constantly. Warmth only rescales the memoized cold report
-  // analytically (apply_warmth_discount), so no re-simulation happens per
-  // warm fraction. On a fleet the request's graph is re-planned per config
-  // (deterministic, so structurally identical plans with the same
-  // fingerprint) and costed on that config's compiled model.
-  std::map<std::tuple<std::size_t, const void*, const void*>, CostEntry> service_memo;
-  auto cost_of = [&](std::size_t cfg, std::size_t idx) -> const CostEntry& {
-    const RunRequest& request = arrivals[idx].request;
-    const auto key =
-        std::make_tuple(cfg, static_cast<const void*>(request.plan.get()),
-                        static_cast<const void*>(request.features));
-    auto it = service_memo.find(key);
-    if (it == service_memo.end()) {
-      CostEntry entry;
-      RunRequest routed = request;
-      if (fleet) {
-        // Sampling is fresh per plan() call, so a per-config re-plan could
-        // not reproduce the request's sampled adjacencies.
-        GNNIE_REQUIRE(request.plan->sampled_layer_count() == 0,
-                      "sampled (GraphSAGE) plans are not supported on fleet clusters");
-        routed.plan = config_models_[cfg].plan(request.plan->graph());
-      }
-      entry.plan = routed.plan;
-      entry.working_set = routed.plan->warm_working_set_bytes();
-      InferenceReport cold =
-          (fleet ? config_models_[cfg] : model_).run_cost(routed);
-      entry.cold = cold.total_cycles;
-      entry.warm_full = wcfg.enabled ? warm_total_cycles(cold, 1.0) : cold.total_cycles;
-      entry.follower_saving = max_coalesce > 1 ? batch_follower_saved_cycles(cold) : 0;
-      if (wcfg.enabled) entry.cold_report = std::move(cold);
-      it = service_memo.emplace(key, std::move(entry)).first;
+  // ---- Per-stream resolution --------------------------------------------
+  // Every request is one of the trace's streams, so all per-request cost
+  // and identity lookups collapse to dense per-stream tables resolved up
+  // front: the plan fingerprint, a dense fingerprint index (distinct
+  // fingerprints ≤ streams — used for the incremental waiting counts), and
+  // a raw ServiceCost pointer per (config, stream) so the hot path never
+  // hashes. Costs come from the cluster-lifetime ServiceCostCache: runs are
+  // stateless, so entries are exact and shared across simulate() calls —
+  // a load sweep over one cluster costs each triple once. On a fleet the
+  // request's graph is re-planned per config (deterministic, so
+  // structurally identical plans with the same fingerprint) and costed on
+  // that config's compiled model.
+  const std::size_t stream_count = trace.stream_count();
+  std::vector<std::uint64_t> stream_fp(stream_count);
+  std::vector<std::uint32_t> stream_fpi(stream_count);
+  std::vector<std::uint64_t> distinct_fp;
+  for (std::size_t s = 0; s < stream_count; ++s) {
+    stream_fp[s] = trace.stream(s).plan->fingerprint();
+    std::size_t i = 0;
+    while (i < distinct_fp.size() && distinct_fp[i] != stream_fp[s]) ++i;
+    if (i == distinct_fp.size()) distinct_fp.push_back(stream_fp[s]);
+    stream_fpi[s] = static_cast<std::uint32_t>(i);
+  }
+  const std::size_t fp_slots = distinct_fp.size();
+
+  // Lazily resolved so a stream no request ever touches is never costed
+  // (matching the old per-call memo, including its fleet-mode rejection of
+  // sampled plans only for streams actually served).
+  std::vector<const ServiceCost*> resolved(config_count * stream_count, nullptr);
+  auto cost_at = [&](std::size_t cfg, std::size_t s) -> const ServiceCost& {
+    const ServiceCost*& slot = resolved[cfg * stream_count + s];
+    if (slot == nullptr) {
+      const TraceStream& stream = trace.stream(s);
+      const ServiceCostCache::Key key{cfg, stream.plan.get(), stream.features};
+      slot = &cost_cache_->get(key, [&]() -> ServiceCost {
+        ServiceCost entry;
+        RunRequest routed;
+        routed.plan = stream.plan;
+        routed.features = stream.features;
+        if (fleet) {
+          // Sampling is fresh per plan() call, so a per-config re-plan could
+          // not reproduce the request's sampled adjacencies.
+          GNNIE_REQUIRE(stream.plan->sampled_layer_count() == 0,
+                        "sampled (GraphSAGE) plans are not supported on fleet clusters");
+          routed.plan = config_models_[cfg].plan(stream.plan->graph());
+        }
+        entry.plan = routed.plan;
+        entry.working_set = routed.plan->warm_working_set_bytes();
+        InferenceReport cold =
+            (fleet ? config_models_[cfg] : model_).run_cost(routed);
+        entry.cold = cold.total_cycles;
+        entry.warm_full =
+            wcfg.enabled ? warm_total_cycles(cold, 1.0) : cold.total_cycles;
+        entry.follower_saving = max_coalesce > 1 ? batch_follower_saved_cycles(cold) : 0;
+        if (wcfg.enabled) entry.cold_report = std::move(cold);
+        return entry;
+      });
     }
-    return it->second;
+    return *slot;
   };
-  std::vector<DieState> dies(die_count_);
-  std::vector<DieStatus> status(die_count_);
-  std::deque<std::size_t> deferred;  // the global arrival-order queue
+  auto cost_of = [&](std::size_t cfg, std::size_t idx) -> const ServiceCost& {
+    return cost_at(cfg, arrivals[idx].stream);
+  };
   auto fingerprint_of = [&](std::size_t idx) -> std::uint64_t {
-    return arrivals[idx].request.plan->fingerprint();
+    return stream_fp[arrivals[idx].stream];
   };
-  // Same-plan requests currently waiting anywhere (die queues + the global
-  // queue): the coalescing opportunity a scheduler is shown. Queues are
-  // short, so the scan beats maintaining an incremental count.
-  auto waiting_same_plan = [&](std::uint64_t fp) -> std::size_t {
-    std::size_t n = 0;
-    for (const DieState& die : dies) {
-      for (std::size_t idx : die.queue) n += fingerprint_of(idx) == fp ? 1 : 0;
+  auto fpi_of = [&](std::size_t idx) -> std::uint32_t {
+    return stream_fpi[arrivals[idx].stream];
+  };
+
+  // ---- Arena-backed queues and incremental waiting counts ---------------
+  // One next/prev pair per request backs every queue; per-(die, fingerprint)
+  // and global per-fingerprint waiting counts are maintained on every queue
+  // move, so the coalescing-opportunity and head-slot-openness questions the
+  // old loop answered by scanning whole queues are O(1) lookups.
+  std::vector<std::uint32_t> q_next(arrivals.size(), kNone);
+  std::vector<std::uint32_t> q_prev(arrivals.size(), kNone);
+  std::vector<ArenaFifo> die_queue(die_count_);
+  ArenaFifo deferred;  // the global arrival-order queue
+  std::vector<std::uint32_t> die_fp_count(die_count_ * fp_slots, 0);
+  std::vector<std::uint32_t> deferred_fp_count(fp_slots, 0);
+
+  auto fifo_push_back = [&](ArenaFifo& q, std::uint32_t idx) {
+    q_prev[idx] = q.tail;
+    q_next[idx] = kNone;
+    if (q.tail == kNone) {
+      q.head = idx;
+    } else {
+      q_next[q.tail] = idx;
     }
-    for (std::size_t idx : deferred) n += fingerprint_of(idx) == fp ? 1 : 0;
-    return n;
+    q.tail = idx;
+    ++q.count;
   };
+  auto fifo_push_front = [&](ArenaFifo& q, std::uint32_t idx) {
+    q_next[idx] = q.head;
+    q_prev[idx] = kNone;
+    if (q.head == kNone) {
+      q.tail = idx;
+    } else {
+      q_prev[q.head] = idx;
+    }
+    q.head = idx;
+    ++q.count;
+  };
+  auto fifo_remove = [&](ArenaFifo& q, std::uint32_t idx) {
+    const std::uint32_t prev = q_prev[idx];
+    const std::uint32_t next = q_next[idx];
+    if (prev == kNone) {
+      q.head = next;
+    } else {
+      q_next[prev] = next;
+    }
+    if (next == kNone) {
+      q.tail = prev;
+    } else {
+      q_prev[next] = prev;
+    }
+    --q.count;
+  };
+
+  auto die_enqueue = [&](std::size_t d, std::uint32_t idx) {
+    fifo_push_back(die_queue[d], idx);
+    ++die_fp_count[d * fp_slots + fpi_of(idx)];
+  };
+  auto die_remove = [&](std::size_t d, std::uint32_t idx) {
+    fifo_remove(die_queue[d], idx);
+    --die_fp_count[d * fp_slots + fpi_of(idx)];
+  };
+  auto defer_push_back = [&](std::uint32_t idx) {
+    fifo_push_back(deferred, idx);
+    ++deferred_fp_count[fpi_of(idx)];
+  };
+  auto defer_push_front = [&](std::uint32_t idx) {
+    fifo_push_front(deferred, idx);
+    ++deferred_fp_count[fpi_of(idx)];
+  };
+  auto defer_remove = [&](std::uint32_t idx) {
+    fifo_remove(deferred, idx);
+    --deferred_fp_count[fpi_of(idx)];
+  };
+
+  // Same-plan requests this die's next slot for `fpi` could actually drain:
+  // its own queue plus the global queue. (Requests queued on OTHER dies are
+  // invisible to this die's slot — they are deliberately not counted.)
+  auto waiting_same_plan_on_die = [&](std::size_t d, std::uint32_t fpi) -> std::size_t {
+    return die_fp_count[d * fp_slots + fpi] + deferred_fp_count[fpi];
+  };
+
   // The per-(die, request) estimate vector handed to pick()/shed(): one
   // entry per distinct config, copied out per die (identical entries on a
-  // homogeneous cluster). Scratch buffers reused across offers.
+  // homogeneous cluster apart from the per-die coalesce count). Scratch
+  // buffers reused across offers.
   std::vector<RequestEstimate> die_estimates(die_count_);
   std::vector<RequestEstimate> config_estimates(config_count);
   std::vector<char> config_ready(config_count, 0);
   auto estimates_of = [&](std::size_t idx) -> const std::vector<RequestEstimate>& {
     const std::uint64_t fp = fingerprint_of(idx);
-    const std::uint32_t coalesce_count =
-        max_coalesce > 1 ? static_cast<std::uint32_t>(std::min<std::size_t>(
-                               max_coalesce, 1 + waiting_same_plan(fp)))
-                         : 1;
+    const std::uint32_t fpi = fpi_of(idx);
     std::fill(config_ready.begin(), config_ready.end(), 0);
     for (std::size_t d = 0; d < die_count_; ++d) {
       const std::size_t cfg = die_config_[d];
       if (!config_ready[cfg]) {
-        const CostEntry& cost = cost_of(cfg, idx);
+        const ServiceCost& cost = cost_of(cfg, idx);
         RequestEstimate est;
         est.fingerprint = fp;
         est.working_set_bytes = cost.working_set;
@@ -227,17 +363,25 @@ ServingReport Cluster::simulate(const RequestTrace& trace, const Scheduler& sche
             wcfg.enabled
                 ? scale_cycles(config_engine(cfg).warmth.plan_swap_penalty_cycles, cfg)
                 : 0;
-        est.coalesce_count = coalesce_count;
         est.batch_saving_cycles =
             max_coalesce > 1 ? scale_cycles(cost.follower_saving, cfg) : 0;
         config_estimates[cfg] = est;
         config_ready[cfg] = 1;
       }
       die_estimates[d] = config_estimates[cfg];
+      // Per-die: 1 + the same-plan requests THIS die's next slot could
+      // drain (own queue + the global queue), capped at the slot width.
+      die_estimates[d].coalesce_count =
+          max_coalesce > 1
+              ? static_cast<std::uint32_t>(std::min<std::size_t>(
+                    max_coalesce, 1 + waiting_same_plan_on_die(d, fpi)))
+              : 1;
     }
     return die_estimates;
   };
 
+  std::vector<DieState> dies(die_count_);
+  std::vector<DieStatus> status(die_count_);
   std::vector<DieWarmthModel> warmth;
   if (wcfg.enabled) {
     warmth.reserve(die_count_);
@@ -249,21 +393,22 @@ ServingReport Cluster::simulate(const RequestTrace& trace, const Scheduler& sche
   // Routing-time service estimate of each queued request, so the die's
   // queued-backlog estimate can be released when service starts.
   std::vector<Cycles> routed_estimate(arrivals.size(), 0);
+  CompletionHeap completions(die_count_);
   std::size_t next_arrival = 0;
   std::size_t completed = 0;
 
   auto sync_queue_status = [&](std::size_t d) {
-    status[d].queue_depth = dies[d].queue.size();
+    status[d].queue_depth = die_queue[d].count;
     // Publish the head-of-line plan only while the head's upcoming slot
     // can still absorb another same-plan request — once the queue already
     // holds max_coalesce of them, a newcomer would run in a later slot and
     // must not be promised the ride discount.
     std::uint64_t head_fp = 0;
-    if (!dies[d].queue.empty() && max_coalesce > 1) {
-      const std::uint64_t fp = fingerprint_of(dies[d].queue.front());
-      std::size_t same_plan = 0;
-      for (std::size_t idx : dies[d].queue) same_plan += fingerprint_of(idx) == fp ? 1 : 0;
-      if (same_plan < max_coalesce) head_fp = fp;
+    if (die_queue[d].count != 0 && max_coalesce > 1) {
+      const std::uint32_t head = die_queue[d].head;
+      if (die_fp_count[d * fp_slots + fpi_of(head)] < max_coalesce) {
+        head_fp = fingerprint_of(head);
+      }
     }
     status[d].queue_head_fingerprint = head_fp;
   };
@@ -278,29 +423,35 @@ ServingReport Cluster::simulate(const RequestTrace& trace, const Scheduler& sche
     const std::size_t cfg = die_config_[d];
     const WarmthConfig& die_wcfg = config_engine(cfg).warmth;
     const std::uint64_t fp = fingerprint_of(head);
-    std::vector<std::size_t> group = {head};
+    DieState& die = dies[d];
+    die.group.clear();
+    die.group.push_back(head);
     if (max_coalesce > 1) {
-      DieState& die = dies[d];
-      for (auto it = die.queue.begin();
-           it != die.queue.end() && group.size() < max_coalesce;) {
-        if (fingerprint_of(*it) == fp) {
+      const std::uint32_t fpi = fpi_of(head);
+      // The waiting counts bound both walks: stop as soon as every
+      // same-plan waiter has been taken, not at the end of the queue.
+      std::uint32_t it = die_queue[d].head;
+      while (it != kNone && die.group.size() < max_coalesce &&
+             die_fp_count[d * fp_slots + fpi] > 0) {
+        const std::uint32_t next = q_next[it];
+        if (fpi_of(it) == fpi) {
           status[d].queued_cycles_estimate -=
-              std::min(status[d].queued_cycles_estimate, routed_estimate[*it]);
-          group.push_back(*it);
-          it = die.queue.erase(it);
-        } else {
-          ++it;
+              std::min(status[d].queued_cycles_estimate, routed_estimate[it]);
+          die.group.push_back(it);
+          die_remove(d, it);
         }
+        it = next;
       }
       sync_queue_status(d);
-      for (auto it = deferred.begin();
-           it != deferred.end() && group.size() < max_coalesce;) {
-        if (fingerprint_of(*it) == fp) {
-          group.push_back(*it);
-          it = deferred.erase(it);
-        } else {
-          ++it;
+      std::uint32_t jt = deferred.head;
+      while (jt != kNone && die.group.size() < max_coalesce &&
+             deferred_fp_count[fpi] > 0) {
+        const std::uint32_t next = q_next[jt];
+        if (fpi_of(jt) == fpi) {
+          die.group.push_back(jt);
+          defer_remove(jt);
         }
+        jt = next;
       }
     }
 
@@ -320,9 +471,9 @@ ServingReport Cluster::simulate(const RequestTrace& trace, const Scheduler& sche
     }
 
     Cycles at = now;
-    for (std::size_t i = 0; i < group.size(); ++i) {
-      const std::size_t idx = group[i];
-      const CostEntry& cost = cost_of(cfg, idx);
+    for (std::size_t i = 0; i < die.group.size(); ++i) {
+      const std::size_t idx = die.group[i];
+      const ServiceCost& cost = cost_of(cfg, idx);
       RequestRecord& rec = report.requests[idx];
       // Charged in the config's own clock domain, scaled into reference
       // cycles only once fully assembled (warmth discount, swap penalty,
@@ -351,18 +502,16 @@ ServingReport Cluster::simulate(const RequestTrace& trace, const Scheduler& sche
       rec.die = d;
       rec.start = at;
       rec.finish = at + scale_cycles(service, cfg);
-      rec.group_size = static_cast<std::uint32_t>(group.size());
+      rec.group_size = static_cast<std::uint32_t>(die.group.size());
       at = rec.finish;
     }
-    if (report.batch_size_counts.size() < group.size()) {
-      report.batch_size_counts.resize(group.size(), 0);
+    if (report.batch_size_counts.size() < die.group.size()) {
+      report.batch_size_counts.resize(die.group.size(), 0);
     }
-    ++report.batch_size_counts[group.size() - 1];
+    ++report.batch_size_counts[die.group.size() - 1];
 
-    DieState& die = dies[d];
     die.busy = true;
-    die.group = std::move(group);
-    die.busy_until = at;
+    completions.push(at, d);
     status[d].busy = true;
     status[d].in_service_count = die.group.size();
     status[d].busy_until = at;
@@ -379,11 +528,11 @@ ServingReport Cluster::simulate(const RequestTrace& trace, const Scheduler& sche
       // affinity flip so it reflects the die state the scheduler saw.
       routed_estimate[idx] = estimate_die_service(status[d], est);
       status[d].affinity_fingerprint = est.fingerprint;
-      dies[d].queue.push_back(idx);
+      die_enqueue(d, static_cast<std::uint32_t>(idx));
       sync_queue_status(d);
       status[d].queued_cycles_estimate += routed_estimate[idx];
     } else {
-      GNNIE_ASSERT(dies[d].queue.empty(), "an idle die cannot hold a queue");
+      GNNIE_ASSERT(die_queue[d].count == 0, "an idle die cannot hold a queue");
       status[d].affinity_fingerprint = est.fingerprint;
       start_service(d, idx, now);
     }
@@ -410,13 +559,17 @@ ServingReport Cluster::simulate(const RequestTrace& trace, const Scheduler& sche
     return true;
   };
 
+  // Dies freed by the completion batch in flight (die-index order, courtesy
+  // of the heap's tie rule). Outside this window an idle die always has an
+  // empty queue — work is handed out before the loop advances — so only
+  // freed dies can need a refill.
+  std::vector<std::size_t> freed;
+  freed.reserve(die_count_);
+
   while (completed < arrivals.size()) {
     // Next event: earliest completion vs earliest pending arrival;
     // completions win ties so freed dies can seat simultaneous arrivals.
-    Cycles t_completion = kNever;
-    for (const DieState& die : dies) {
-      if (die.busy) t_completion = std::min(t_completion, die.busy_until);
-    }
+    const Cycles t_completion = completions.empty() ? kNever : completions.next_time();
     const Cycles t_arrival =
         next_arrival < arrivals.size() ? arrivals[next_arrival].arrival : kNever;
     GNNIE_ASSERT(t_completion != kNever || t_arrival != kNever,
@@ -426,10 +579,16 @@ ServingReport Cluster::simulate(const RequestTrace& trace, const Scheduler& sche
       const Cycles now = t_completion;
       // Finish every die completing at `now` (die-index order), then hand
       // out new work — first from each die's own queue, then the global
-      // queue in arrival order.
-      for (std::size_t d = 0; d < die_count_; ++d) {
+      // queue in arrival order. A slot started during the refill phase may
+      // finish in zero cycles; its event stays in the heap and is processed
+      // by the next loop iteration, after this batch's refills and
+      // re-offers — the same order the scan-based loop produced.
+      freed.clear();
+      while (!completions.empty() && completions.next_time() == now) {
+        freed.push_back(completions.pop_die());
+      }
+      for (std::size_t d : freed) {
         DieState& die = dies[d];
-        if (!die.busy || die.busy_until != now) continue;
         // The slot's members sum to exactly the die's busy span.
         for (std::size_t idx : die.group) {
           report.die_busy_cycles[d] += report.requests[idx].service_cycles();
@@ -441,11 +600,10 @@ ServingReport Cluster::simulate(const RequestTrace& trace, const Scheduler& sche
         status[d].in_service_count = 0;
         status[d].busy_until = 0;
       }
-      for (std::size_t d = 0; d < die_count_; ++d) {
-        DieState& die = dies[d];
-        if (die.busy || die.queue.empty()) continue;
-        const std::size_t idx = die.queue.front();
-        die.queue.pop_front();
+      for (std::size_t d : freed) {
+        if (die_queue[d].count == 0) continue;
+        const std::uint32_t idx = die_queue[d].head;
+        die_remove(d, idx);
         sync_queue_status(d);
         status[d].queued_cycles_estimate -=
             std::min(status[d].queued_cycles_estimate, routed_estimate[idx]);
@@ -454,11 +612,11 @@ ServingReport Cluster::simulate(const RequestTrace& trace, const Scheduler& sche
       // Re-offer the global queue head by head. The head is popped before
       // the offer so a coalescing service slot it seats never re-drains the
       // head itself out of `deferred`.
-      while (!deferred.empty()) {
-        const std::size_t idx = deferred.front();
-        deferred.pop_front();
+      while (deferred.count != 0) {
+        const std::uint32_t idx = deferred.head;
+        defer_remove(idx);
         if (!offer(idx, now)) {
-          deferred.push_front(idx);
+          defer_push_front(idx);
           break;
         }
       }
@@ -467,7 +625,9 @@ ServingReport Cluster::simulate(const RequestTrace& trace, const Scheduler& sche
       const std::size_t idx = next_arrival++;
       // A deferred backlog means this arrival queues behind it (the global
       // queue is strictly arrival-ordered).
-      if (!deferred.empty() || !offer(idx, now)) deferred.push_back(idx);
+      if (deferred.count != 0 || !offer(idx, now)) {
+        defer_push_back(static_cast<std::uint32_t>(idx));
+      }
     }
   }
 

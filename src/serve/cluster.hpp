@@ -17,6 +17,18 @@
 // order. Everything is deterministic: a (trace, scheduler, admission,
 // fleet) tuple always produces the identical ServingReport.
 //
+// The loop is built for multi-million-request traces: die completions sit
+// in a binary-heap event queue (one immutable entry per busy die, popped in
+// (time, die-index) order so the tie rule above falls out of the heap
+// order); waiting requests live in an intrusive arena FIFO (one next/prev
+// pair per request backs every die queue plus the global queue — no
+// per-request allocation); and the same-plan-waiting questions coalescing
+// asks (slot opportunity, head-slot openness) are answered by per-die and
+// global per-fingerprint counts maintained incrementally on every queue
+// move instead of queue scans. None of this changes any modeled number —
+// the indexed loop is pinned record-for-record against a scan-based
+// reference simulator (tests/test_serve_equivalence.cpp).
+//
 // Degenerate case, by design: one die + FIFO + a zero-gap trace reproduces
 // CompiledModel::run_batch exactly — same per-request cycle counts, and a
 // makespan equal to BatchReport::total_cycles.
@@ -25,7 +37,13 @@
 // triple — open-loop traces repeat the same stream request many times, and
 // re-simulating a bit-identical run to rediscover its cycle count would
 // dominate the simulation. The memo is exact, not an approximation, because
-// runs are stateless.
+// runs are stateless — so it lives in a cluster-lifetime ServiceCostCache
+// (serve/cost_cache.hpp) shared by every simulate() call on this cluster:
+// a latency-vs-load sweep costs each triple once, at its first load point.
+// simulate() is const and thread-safe — the cache fill takes a mutex, the
+// plan cache is internally locked, and all other simulation state is
+// call-local — so independent sweep cells over one cluster may run on
+// parallel threads and still produce bit-identical reports each.
 //
 // Cache warmth (EngineConfig::warmth, default off): each die carries a
 // DieWarmthModel — a bounded LRU residency set of plan working sets
@@ -78,6 +96,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/report.hpp"
@@ -88,6 +107,8 @@
 #include "serve/trace.hpp"
 
 namespace gnnie::serve {
+
+class ServiceCostCache;
 
 class Cluster {
  public:
@@ -120,6 +141,11 @@ class Cluster {
   ServingReport simulate(const RequestTrace& trace, const Scheduler& scheduler,
                          const AdmissionPolicy& admission) const;
 
+  /// Distinct (die config, plan, features) triples costed so far by this
+  /// cluster's ServiceCostCache — across all simulate() calls. A sweep that
+  /// shares correctly stops growing this after its first cell.
+  std::size_t costed_triples() const;
+
  private:
   CompiledModel model_;
   std::size_t die_count_;
@@ -133,6 +159,10 @@ class Cluster {
   /// reference_clock / config_clock.
   std::vector<double> config_scale_;
   bool heterogeneous_ = false;
+  /// Cluster-lifetime (config, plan, features) → service-cost cache, shared
+  /// by every simulate() call (and by copies of this cluster — entries are
+  /// exact, so sharing is always safe). shared_ptr keeps Cluster copyable.
+  std::shared_ptr<ServiceCostCache> cost_cache_;
 };
 
 }  // namespace gnnie::serve

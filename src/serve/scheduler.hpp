@@ -101,13 +101,14 @@ struct RequestEstimate {
   Cycles cold_cycles = 0;
   Cycles warm_cycles = 0;
   Cycles swap_penalty_cycles = 0;
-  /// The cluster-wide same-plan backlog behind this request: 1 + the
-  /// same-plan requests currently waiting anywhere (die queues + the
-  /// global queue), capped at EngineConfig::batching.max_coalesce. A
-  /// die-agnostic signal that coalescing opportunities exist — any one
-  /// slot drains only its own die's queue plus the global queue, so do
-  /// not scale per-die savings by this count; use it as the > 1 gate
-  /// (paired with DieStatus::queue_head_fingerprint). Always 1 with
+  /// The same-plan backlog THIS die's next slot could actually drain: 1 +
+  /// the same-plan requests waiting in this die's own queue plus the
+  /// global queue, capped at EngineConfig::batching.max_coalesce. Per-die
+  /// because a service slot can only coalesce from those two queues —
+  /// same-plan requests parked on other dies' queues are unreachable and
+  /// are deliberately not counted (an earlier cluster-wide count promised
+  /// phantom batch savings a slot could never collect). Used as the > 1
+  /// gate paired with DieStatus::queue_head_fingerprint. Always 1 with
   /// coalescing off.
   std::uint32_t coalesce_count = 1;
   /// Cycles this request would save if serviced as a coalesced follower

@@ -18,18 +18,6 @@ void validate_streams(const std::vector<TraceStream>& streams) {
   }
 }
 
-/// Weighted stream draw (cumulative scan; stream lists are tiny).
-std::size_t draw_stream(const std::vector<TraceStream>& streams, Rng& rng) {
-  double total = 0.0;
-  for (const TraceStream& s : streams) total += s.weight;
-  double u = rng.next_double() * total;
-  for (std::size_t i = 0; i < streams.size(); ++i) {
-    u -= streams[i].weight;
-    if (u < 0.0) return i;
-  }
-  return streams.size() - 1;  // floating-point residue lands on the last
-}
-
 /// Exponential gap with the given mean, rounded to whole cycles.
 Cycles exponential_gap(double mean, Rng& rng) {
   const double u = rng.next_double();  // [0, 1)
@@ -42,6 +30,28 @@ Cycles exponential_gap(double mean, Rng& rng) {
 RequestTrace::RequestTrace(std::vector<TraceStream> streams)
     : streams_(std::move(streams)) {
   validate_streams(streams_);
+  // The cumulative-weight table backing draw_stream, built once per trace:
+  // arrivals used to re-sum every stream weight per draw, which dominated
+  // construction of million-request traces.
+  cumulative_weight_.reserve(streams_.size());
+  double total = 0.0;
+  for (const TraceStream& s : streams_) {
+    total += s.weight;
+    cumulative_weight_.push_back(total);
+  }
+}
+
+std::size_t RequestTrace::draw_stream(Rng& rng) const {
+  // Weighted draw against the prefix sums. `u - w0 - … - wk < 0` and
+  // `u < w0 + … + wk` evaluate identically in IEEE arithmetic for the
+  // first comparison, and draws are seeded — the table reproduces the old
+  // subtract-scan bit-for-bit on the shipped traces (the seed-determinism
+  // tests pin this).
+  const double u = rng.next_double() * cumulative_weight_.back();
+  for (std::size_t i = 0; i + 1 < cumulative_weight_.size(); ++i) {
+    if (u < cumulative_weight_[i]) return i;
+  }
+  return streams_.size() - 1;  // floating-point residue lands on the last
 }
 
 bool RequestTrace::has_slo() const {
@@ -87,7 +97,7 @@ RequestTrace RequestTrace::poisson(std::vector<TraceStream> streams, std::size_t
   Cycles now = 0;
   for (std::size_t i = 0; i < count; ++i) {
     if (i > 0) now += exponential_gap(mean_gap_cycles, rng);
-    trace.emit(now, draw_stream(trace.streams_, rng));
+    trace.emit(now, trace.draw_stream(rng));
   }
   return trace;
 }
@@ -107,7 +117,7 @@ RequestTrace RequestTrace::bursty(std::vector<TraceStream> streams, std::size_t 
   bool burst = false;
   for (std::size_t i = 0; i < count; ++i) {
     if (i > 0) now += exponential_gap(burst ? burst_gap_cycles : calm_gap_cycles, rng);
-    trace.emit(now, draw_stream(trace.streams_, rng));
+    trace.emit(now, trace.draw_stream(rng));
     // Geometric run lengths: flip with probability 1/mean after each arrival.
     if (rng.next_bool(1.0 / (burst ? mean_burst_run : mean_calm_run))) burst = !burst;
   }

@@ -27,6 +27,10 @@
 #include "common/units.hpp"
 #include "core/serving.hpp"
 
+namespace gnnie {
+class Rng;
+}
+
 namespace gnnie::serve {
 
 /// One request stream: a planned graph, the features every request of the
@@ -93,8 +97,14 @@ class RequestTrace {
   RequestTrace(std::vector<TraceStream> streams);
 
   void emit(Cycles arrival, std::size_t stream);
+  /// Weighted stream draw against cumulative_weight_ (bit-exact with the
+  /// sequential subtract-scan it replaced; pinned by seed-determinism tests).
+  std::size_t draw_stream(Rng& rng) const;
 
   std::vector<TraceStream> streams_;
+  /// Prefix sums of the stream weights, built once at construction so each
+  /// arrival's weighted draw is table lookup, not a re-sum of every weight.
+  std::vector<double> cumulative_weight_;
   std::vector<TracedRequest> requests_;
 };
 

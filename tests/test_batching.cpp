@@ -376,11 +376,12 @@ TEST(BatchingScheduler, FullSlotsStopAdvertisingTheirHeadOfLinePlan) {
   EXPECT_EQ(probe.seen[3].second, 0u);
 }
 
-TEST(BatchingScheduler, EstimateCarriesTheClusterWideOpportunity) {
+TEST(BatchingScheduler, EstimateCarriesTheDrainableOpportunity) {
   ServeFixture f(coalescing_config(8));
   // Capture the estimates the cluster hands the scheduler: with a backlog
-  // of same-plan work the coalesce_count must grow past 1 and carry a
-  // positive saving, capped at max_coalesce.
+  // of same-plan work the die's slot could drain (here the global queue —
+  // one die, FIFO defers everything while it is busy) the coalesce_count
+  // must grow past 1 and carry a positive saving, capped at max_coalesce.
   struct Probe final : Scheduler {
     mutable std::uint32_t max_seen = 0;
     mutable Cycles saving_seen = 0;
@@ -400,6 +401,55 @@ TEST(BatchingScheduler, EstimateCarriesTheClusterWideOpportunity) {
   EXPECT_GT(probe.max_seen, 1u);
   EXPECT_LE(probe.max_seen, 8u);
   EXPECT_GT(probe.saving_seen, 0u);
+}
+
+TEST(BatchingScheduler, CoalesceCountIsPerDieNotClusterWide) {
+  ServeFixture f(coalescing_config(8));
+  // Pile same-plan waiters onto die 0's queue while die 1 idles and the
+  // global queue stays empty. Die 1's slot could drain NONE of them — its
+  // coalesce_count must stay 1 even as die 0's grows. (The pre-fix
+  // cluster-wide count credited die 1 with die 0's backlog, advertising
+  // phantom batch savings no slot on die 1 could ever collect — a
+  // batching-aware router chasing the discount would steer same-plan work
+  // AWAY from the die that can actually coalesce it.)
+  struct Probe final : Scheduler {
+    mutable std::uint32_t die0_max = 0;
+    mutable std::uint32_t die1_max = 0;
+    SchedulerKind kind() const override { return SchedulerKind::kFifo; }
+    std::size_t pick(const TracedRequest&, std::span<const RequestEstimate> ests,
+                     std::span<const DieStatus>, Cycles) const override {
+      die0_max = std::max(die0_max, ests[0].coalesce_count);
+      die1_max = std::max(die1_max, ests[1].coalesce_count);
+      return 0;  // everything onto die 0 — die 1 never sees a request
+    }
+  } probe;
+  // Zero-gap arrivals: the first seats die 0, the rest stack its queue, so
+  // each offer sees a strictly deeper die-0 backlog.
+  RequestTrace trace = RequestTrace::fixed_interval({f.stream_a()}, 6, 0);
+  Cluster(f.compiled, 2).simulate(trace, probe);
+  EXPECT_GT(probe.die0_max, 1u);
+  EXPECT_EQ(probe.die1_max, 1u);
+}
+
+TEST(BatchingScheduler, NoRideDiscountWithoutADrainableWaiter) {
+  // estimate_die_service's ride discount is gated on coalesce_count > 1.
+  // With the per-die count, a die whose head-of-line plan matches but which
+  // holds no drainable same-plan waiter (count 1 — the old cluster-wide
+  // count could still exceed 1 via other dies' queues) must be priced at
+  // full service: the discount would be a phantom saving.
+  RequestEstimate est;
+  est.fingerprint = 77;
+  est.cold_cycles = 1000;
+  est.warm_cycles = 1000;
+  est.batch_saving_cycles = 200;
+  DieStatus die;
+  die.queue_head_fingerprint = 77;
+  est.coalesce_count = 1;
+  const Cycles undiscounted = estimate_die_service(die, est);
+  est.coalesce_count = 2;
+  const Cycles discounted = estimate_die_service(die, est);
+  EXPECT_EQ(undiscounted, 1000u);
+  EXPECT_EQ(discounted, 800u);
 }
 
 }  // namespace

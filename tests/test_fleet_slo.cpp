@@ -388,5 +388,61 @@ TEST(SloScheduler, BeatsFifoAndShortestQueueAtTheKneeOnAHeterogeneousFleet) {
   EXPECT_GT(slo_aware, shortest);
 }
 
+// --- mean_queue_depth must ignore shed requests. ---
+
+TEST(ServeReport, MeanQueueDepthExcludesShedRecords) {
+  // A shed record's start is stamped at the shed time, so its queue_cycles
+  // span [arrival, shed] — time spent being DROPPED, not queued for
+  // service. Only the served request's 30 waiting cycles may count.
+  ServingReport rep;
+  rep.dies = 1;
+  rep.makespan = 100;
+  RequestRecord served;
+  served.arrival = 0;
+  served.start = 30;
+  served.finish = 100;
+  RequestRecord shed;
+  shed.arrival = 10;
+  shed.start = 90;  // waited 80 cycles in the global queue, then was shed
+  shed.finish = 90;
+  shed.shed = true;
+  rep.requests = {served, shed};
+  EXPECT_DOUBLE_EQ(rep.mean_queue_depth(), 30.0 / 100.0);
+}
+
+TEST(SloCluster, ShedHeavyTraceDoesNotInflateMeanQueueDepth) {
+  // Shed-heavy overload: a tight-SLO stream under FIFO (every arrival to a
+  // busy cluster defers, so late re-offers go hopeless and shed after real
+  // queueing time). The reported mean queue depth must integrate served
+  // requests only — exactly sorted_latencies()'s exclusion rule.
+  ServeFixture f;
+  const Cycles cost_a =
+      f.compiled.run_cost(RunRequest{f.plan_a, &f.a.features}).total_cycles;
+  TraceStream tight = f.stream_a();
+  tight.slo_cycles = static_cast<std::int64_t>(3 * cost_a / 2);
+  RequestTrace trace =
+      RequestTrace::poisson({tight, f.stream_b()}, 60,
+                            static_cast<double>(cost_a) / 6.0, /*seed=*/7);
+  auto shed = AdmissionPolicy::make(AdmissionKind::kShedHopeless);
+  auto fifo = Scheduler::make(SchedulerKind::kFifo);
+  const ServingReport rep = Cluster(f.compiled, 2).simulate(trace, *fifo, *shed);
+
+  double served_integral = 0.0;
+  double shed_integral = 0.0;
+  std::size_t sheds = 0;
+  for (const RequestRecord& r : rep.requests) {
+    (r.shed ? shed_integral : served_integral) +=
+        static_cast<double>(r.queue_cycles());
+    sheds += r.shed ? 1 : 0;
+  }
+  ASSERT_GT(sheds, 0u);
+  ASSERT_GT(shed_integral, 0.0);  // sheds happened after genuine waiting
+  EXPECT_DOUBLE_EQ(rep.mean_queue_depth(),
+                   served_integral / static_cast<double>(rep.makespan));
+  // The buggy all-records integral would have reported a deeper queue.
+  EXPECT_LT(rep.mean_queue_depth(),
+            (served_integral + shed_integral) / static_cast<double>(rep.makespan));
+}
+
 }  // namespace
 }  // namespace gnnie
