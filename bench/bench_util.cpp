@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 
@@ -85,21 +87,49 @@ InferenceReport run_gnnie(const Workload& w, const EngineConfig& cfg) {
 }
 
 void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn) {
-  const std::size_t hw = std::thread::hardware_concurrency();
-  const std::size_t workers = hw == 0 ? 1 : (count < hw ? count : hw);
+  parallel_for(count, 0, fn);
+}
+
+void parallel_for(std::size_t count, std::size_t workers,
+                  const std::function<void(std::size_t)>& fn) {
+  if (workers == 0) {
+    const std::size_t hw = std::thread::hardware_concurrency();
+    workers = hw == 0 ? 1 : hw;
+  }
+  if (workers > count) workers = count;
   if (workers <= 1) {
+    // Inline fallback: exceptions propagate naturally, matching the
+    // threaded path's contract (every claimed index before the throw ran
+    // exactly once).
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
   std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
   auto worker = [&] {
-    for (std::size_t i = next.fetch_add(1); i < count; i = next.fetch_add(1)) fn(i);
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= count) break;
+      try {
+        fn(i);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (first_error == nullptr) first_error = std::current_exception();
+        }
+        failed.store(true, std::memory_order_relaxed);
+        break;
+      }
+    }
   };
   std::vector<std::thread> threads;
   threads.reserve(workers - 1);
   for (std::size_t t = 1; t < workers; ++t) threads.emplace_back(worker);
   worker();
   for (std::thread& t : threads) t.join();
+  if (first_error != nullptr) std::rethrow_exception(first_error);
 }
 
 bool json_braces_balanced(const std::string& s) {

@@ -65,7 +65,19 @@ InferenceReport run_gnnie(const Workload& w, const EngineConfig& cfg);
 /// independent (trace, load) cells in parallel: every cell is a pure
 /// function of its inputs — Cluster::simulate is const and thread-safe —
 /// so results are identical to the sequential loop, just computed sooner.
-/// fn must not throw.
+///
+/// If fn throws, the first captured exception is rethrown on the calling
+/// thread after every worker has drained (no index runs twice, workers stop
+/// claiming new indices once an exception is recorded, and all threads are
+/// joined before the rethrow). Which of several concurrent exceptions is
+/// "first" is unspecified; callers that need determinism should not throw.
 void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+/// As above with an explicit worker count (0 = auto-detect, 1 = run inline
+/// on the calling thread). The concurrency tests use this to force real
+/// thread interleavings regardless of the host's core count; `workers` is
+/// clamped to `count`.
+void parallel_for(std::size_t count, std::size_t workers,
+                  const std::function<void(std::size_t)>& fn);
 
 }  // namespace gnnie::bench

@@ -1,0 +1,20 @@
+// Violation fixture for lint_invariants.py --self-test (clocks rule).
+// NOT part of the build; NOT scanned by the real lint pass (only
+// src/tests/examples are). The self-test asserts the linter flags every
+// banned construct below — if a rule regex rots, CI fails here first.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+namespace lint_fixture {
+
+inline long nondeterministic_everything() {
+  long acc = static_cast<long>(std::rand());
+  acc += static_cast<long>(time(nullptr));
+  auto t0 = std::chrono::steady_clock::now();
+  auto t1 = std::chrono::high_resolution_clock::now();
+  acc += std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
+  return acc;
+}
+
+}  // namespace lint_fixture

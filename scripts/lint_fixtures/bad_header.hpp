@@ -1,0 +1,11 @@
+// Violation fixture for lint_invariants.py --self-test (headers rule).
+// NOT part of the build. Uses std::vector without including <vector>, so the
+// generated one-include translation unit must fail to compile — proving the
+// self-containment check actually compiles headers in isolation.
+#pragma once
+
+namespace lint_fixture {
+
+inline std::vector<int> needs_vector_include() { return {}; }
+
+}  // namespace lint_fixture

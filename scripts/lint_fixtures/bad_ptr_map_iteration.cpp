@@ -1,0 +1,19 @@
+// Violation fixture for lint_invariants.py --self-test (ptrmaps rule).
+// NOT part of the build. Iterating a pointer-keyed map walks allocation
+// addresses — run-to-run nondeterministic order. The self-test asserts the
+// linter flags the range-for below.
+#include <map>
+#include <utility>
+
+namespace lint_fixture {
+
+inline int sum_by_pointer_order() {
+  std::map<std::pair<const void*, const void*>, int> memo;
+  int total = 0;
+  for (const auto& entry : memo) {
+    total += entry.second;
+  }
+  return total;
+}
+
+}  // namespace lint_fixture

@@ -1,0 +1,30 @@
+// Negative-control fixture for lint_invariants.py --self-test: legitimate
+// code that superficially resembles the banned constructs. The self-test
+// asserts the linter does NOT flag any of it (word-boundary and lookup-only
+// cases must stay clean).
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace lint_fixture {
+
+// "runtime(" must not match the time() rule; "randomized" must not match rand.
+inline double predict_runtime(double randomized_factor) {
+  return randomized_factor * 2.0;
+}
+
+// Lookup-only use of a pointer-keyed map is allowed — only iteration is
+// order-sensitive.
+inline int lookup_only(const std::map<const void*, int>& memo, const void* key) {
+  auto it = memo.find(key);
+  return it == memo.end() ? 0 : it->second;
+}
+
+// Iterating a string-keyed map is deterministic and allowed.
+inline std::uint64_t sum_named(const std::map<std::string, std::uint64_t>& m) {
+  std::uint64_t total = 0;
+  for (const auto& entry : m) total += entry.second;
+  return total;
+}
+
+}  // namespace lint_fixture

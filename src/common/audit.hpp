@@ -1,0 +1,32 @@
+// Compiled-out-in-Release audit assertions for simulator hot paths.
+//
+// GNNIE_ASSERT (common/require.hpp) stays cheap enough to leave on
+// everywhere; the checks here are the opposite — walking a completion heap,
+// recounting a queue, re-deriving a conservation sum — O(state) work that
+// would change the complexity class of the paths they guard. They compile
+// to nothing unless the build defines GNNIE_AUDIT (cmake -DGNNIE_AUDIT=ON),
+// which the CI audit leg enables at Debug to run the full suite — including
+// the serve equivalence tests — with every invariant re-derived from
+// scratch at each step.
+//
+// Usage:
+//   GNNIE_AUDIT_ASSERT(cond, msg)   — evaluates cond only under audit;
+//                                     throws std::logic_error on failure
+//                                     (same contract as GNNIE_ASSERT).
+//   GNNIE_AUDIT_ENABLED             — 1/0, for audit-only statements.
+//
+// Keep audit-only helper code in anonymous-namespace functions marked
+// [[maybe_unused]] (not lambdas assigned to locals — an unused local is a
+// -Werror warning in Release).
+#pragma once
+
+#if defined(GNNIE_AUDIT) && GNNIE_AUDIT
+#include "common/require.hpp"  // IWYU pragma: keep
+#define GNNIE_AUDIT_ENABLED 1
+#define GNNIE_AUDIT_ASSERT(cond, msg) GNNIE_ASSERT(cond, msg)
+#else
+#define GNNIE_AUDIT_ENABLED 0
+#define GNNIE_AUDIT_ASSERT(cond, msg) \
+  do {                                \
+  } while (false)
+#endif

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/audit.hpp"
 #include "common/require.hpp"
 #include "serve/cost_cache.hpp"
 #include "serve/warmth.hpp"
@@ -97,6 +98,22 @@ class CompletionHeap {
       std::swap(items_[parent], items_[i]);
       i = parent;
     }
+  }
+
+  /// Audit-only (GNNIE_AUDIT): full re-check of the heap's structural
+  /// invariants — the binary-heap key order over (time, die) pairs, and the
+  /// one-entry-per-busy-die discipline that lets the loop skip decrease-key
+  /// and lazy deletion. O(n²) in busy dies, which is small by construction.
+  bool audit_valid() const {
+    for (std::size_t i = 1; i < items_.size(); ++i) {
+      if (items_[(i - 1) / 2] > items_[i]) return false;
+    }
+    for (std::size_t i = 0; i < items_.size(); ++i) {
+      for (std::size_t j = i + 1; j < items_.size(); ++j) {
+        if (items_[i].second == items_[j].second) return false;
+      }
+    }
+    return true;
   }
 
   /// Removes and returns the die of the earliest event.
@@ -311,25 +328,82 @@ ServingReport Cluster::simulate(const RequestTrace& trace, const Scheduler& sche
     --q.count;
   };
 
+#if GNNIE_AUDIT_ENABLED
+  // Audit-only invariant re-derivations (compiled out in Release — each is
+  // O(state) work on paths the indexes exist to keep O(1)). The link walk
+  // is capped so the audit leg's million-request smokes stay tractable:
+  // long queues get endpoint + prefix checks, short ones a full recount.
+  constexpr std::size_t kAuditWalkCap = 64;
+  auto audit_fifo_links = [&](const ArenaFifo& q) -> bool {
+    if ((q.head == kNone) != (q.count == 0)) return false;
+    if ((q.tail == kNone) != (q.count == 0)) return false;
+    if (q.count == 0) return true;
+    if (q_prev[q.head] != kNone || q_next[q.tail] != kNone) return false;
+    std::size_t walked = 0;
+    std::uint32_t it = q.head;
+    std::uint32_t last = kNone;
+    while (it != kNone && walked < kAuditWalkCap) {
+      if (q_prev[it] != last) return false;
+      last = it;
+      it = q_next[it];
+      ++walked;
+    }
+    if (it == kNone) return walked == q.count && last == q.tail;
+    return q.count > kAuditWalkCap;  // prefix verified; rest uncounted
+  };
+  // Per-fingerprint waiting-count conservation: the incremental counters
+  // must equal a from-scratch recount of the queue they index.
+  auto audit_counts = [&](const ArenaFifo& q, const std::uint32_t* counts) -> bool {
+    std::uint64_t sum = 0;
+    for (std::size_t f = 0; f < fp_slots; ++f) sum += counts[f];
+    if (sum != q.count) return false;
+    if (q.count > kAuditWalkCap) return true;  // conservation sum only
+    std::vector<std::uint32_t> tally(fp_slots, 0);
+    for (std::uint32_t it = q.head; it != kNone; it = q_next[it]) ++tally[fpi_of(it)];
+    for (std::size_t f = 0; f < fp_slots; ++f) {
+      if (tally[f] != counts[f]) return false;
+    }
+    return true;
+  };
+  auto audit_die_queue = [&](std::size_t d) -> bool {
+    return audit_fifo_links(die_queue[d]) &&
+           audit_counts(die_queue[d], &die_fp_count[d * fp_slots]);
+  };
+  auto audit_deferred = [&]() -> bool {
+    return audit_fifo_links(deferred) &&
+           audit_counts(deferred, deferred_fp_count.data());
+  };
+#endif
+
   auto die_enqueue = [&](std::size_t d, std::uint32_t idx) {
     fifo_push_back(die_queue[d], idx);
     ++die_fp_count[d * fp_slots + fpi_of(idx)];
+    GNNIE_AUDIT_ASSERT(audit_die_queue(d),
+                       "die queue links/fingerprint counts diverged after enqueue");
   };
   auto die_remove = [&](std::size_t d, std::uint32_t idx) {
     fifo_remove(die_queue[d], idx);
     --die_fp_count[d * fp_slots + fpi_of(idx)];
+    GNNIE_AUDIT_ASSERT(audit_die_queue(d),
+                       "die queue links/fingerprint counts diverged after remove");
   };
   auto defer_push_back = [&](std::uint32_t idx) {
     fifo_push_back(deferred, idx);
     ++deferred_fp_count[fpi_of(idx)];
+    GNNIE_AUDIT_ASSERT(audit_deferred(),
+                       "deferred queue links/fingerprint counts diverged after push");
   };
   auto defer_push_front = [&](std::uint32_t idx) {
     fifo_push_front(deferred, idx);
     ++deferred_fp_count[fpi_of(idx)];
+    GNNIE_AUDIT_ASSERT(audit_deferred(),
+                       "deferred queue links/fingerprint counts diverged after re-offer");
   };
   auto defer_remove = [&](std::uint32_t idx) {
     fifo_remove(deferred, idx);
     --deferred_fp_count[fpi_of(idx)];
+    GNNIE_AUDIT_ASSERT(audit_deferred(),
+                       "deferred queue links/fingerprint counts diverged after remove");
   };
 
   // Same-plan requests this die's next slot for `fpi` could actually drain:
@@ -454,6 +528,21 @@ ServingReport Cluster::simulate(const RequestTrace& trace, const Scheduler& sche
         jt = next;
       }
     }
+#if GNNIE_AUDIT_ENABLED
+    // Slot-assembly invariants: a slot is nonempty, never wider than the
+    // coalescing cap, and every member shares the head's plan fingerprint
+    // (the premise of the one-weighting-pass cost model).
+    auto audit_group = [&]() -> bool {
+      if (die.group.empty() || die.group.size() > std::max<std::uint32_t>(1, max_coalesce)) {
+        return false;
+      }
+      for (std::size_t idx : die.group) {
+        if (fingerprint_of(idx) != fp) return false;
+      }
+      return true;
+    };
+#endif
+    GNNIE_AUDIT_ASSERT(audit_group(), "coalesced slot violates its assembly invariants");
 
     // One residency touch per slot. The head sees the fraction resident on
     // arrival; followers run back-to-back behind it and see the post-load
@@ -512,6 +601,8 @@ ServingReport Cluster::simulate(const RequestTrace& trace, const Scheduler& sche
 
     die.busy = true;
     completions.push(at, d);
+    GNNIE_AUDIT_ASSERT(completions.audit_valid(),
+                       "completion heap key order/uniqueness violated after push");
     status[d].busy = true;
     status[d].in_service_count = die.group.size();
     status[d].busy_until = at;
@@ -586,6 +677,8 @@ ServingReport Cluster::simulate(const RequestTrace& trace, const Scheduler& sche
       freed.clear();
       while (!completions.empty() && completions.next_time() == now) {
         freed.push_back(completions.pop_die());
+        GNNIE_AUDIT_ASSERT(completions.audit_valid(),
+                           "completion heap key order/uniqueness violated after pop");
       }
       for (std::size_t d : freed) {
         DieState& die = dies[d];

@@ -90,6 +90,18 @@ class ServiceCostCache {
     return entries_.size();
   }
 
+  /// Current slot-table width (power of two). Exposed so the unit tests can
+  /// pin the growth threshold and craft colliding keys; not useful to
+  /// simulation code.
+  std::size_t slot_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return slots_.size();
+  }
+
+  /// The slot hash (splitmix64-mixed). Public and static so tests can
+  /// construct keys that provably collide modulo the table width.
+  static std::size_t hash(const Key& key);
+
  private:
   struct Slot {
     Key key;
@@ -99,7 +111,6 @@ class ServiceCostCache {
   const ServiceCost* find_locked(const Key& key) const;
   void insert_locked(const Key& key, std::size_t index);
   void grow_locked();
-  static std::size_t hash(const Key& key);
 
   std::vector<Slot> slots_;          ///< power-of-two, linear probing
   std::deque<ServiceCost> entries_;  ///< stable addresses across growth

@@ -1,0 +1,148 @@
+// Unit tests for ServiceCostCache internals (serve/cost_cache.hpp). The
+// serving suites only ever exercise the cache through equivalence pins;
+// these tests drive the open-addressing table directly: forced collision
+// chains, the 2/3-load growth threshold, entry-pointer stability across
+// growth, and the concurrent duplicate-key fill contract.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "serve/cost_cache.hpp"
+
+namespace gnnie::serve {
+namespace {
+
+using Key = ServiceCostCache::Key;
+
+/// A key whose identity is just the config index (null pointers): enough to
+/// make arbitrarily many distinct keys without building plans.
+Key key_of(std::size_t config) { return Key{config, nullptr, nullptr}; }
+
+/// A ServiceCost carrying `tag` so a hit is distinguishable from a recompute.
+ServiceCost cost_with(Cycles tag) {
+  ServiceCost c;
+  c.cold = tag;
+  return c;
+}
+
+TEST(CostCache, CollisionChainResolvesDistinctKeysInOneBucket) {
+  ServiceCostCache cache;
+  const std::size_t slots = cache.slot_count();
+  // Craft keys that provably collide: same slot index modulo the table
+  // width. The hash is public precisely so this test cannot rot into
+  // "hopefully collides".
+  const std::size_t bucket = ServiceCostCache::hash(key_of(0)) & (slots - 1);
+  std::vector<std::size_t> colliding{0};
+  for (std::size_t c = 1; colliding.size() < 4 && c < 100000; ++c) {
+    if ((ServiceCostCache::hash(key_of(c)) & (slots - 1)) == bucket) {
+      colliding.push_back(c);
+    }
+  }
+  ASSERT_EQ(colliding.size(), 4u) << "hash did not collide within 100k configs";
+
+  std::size_t computes = 0;
+  for (std::size_t c : colliding) {
+    cache.get(key_of(c), [&] {
+      ++computes;
+      return cost_with(static_cast<Cycles>(1000 + c));
+    });
+  }
+  EXPECT_EQ(computes, colliding.size());
+  // Every key in the chain resolves to its own entry, and a re-get walks
+  // the probe chain to a hit instead of recomputing.
+  for (std::size_t c : colliding) {
+    const ServiceCost& entry = cache.get(key_of(c), [&] {
+      ++computes;
+      return cost_with(0);
+    });
+    EXPECT_EQ(entry.cold, static_cast<Cycles>(1000 + c));
+  }
+  EXPECT_EQ(computes, colliding.size());
+}
+
+TEST(CostCache, GrowsAtTwoThirdsLoadAndRehashesLosslessly) {
+  ServiceCostCache cache;
+  const std::size_t slots = cache.slot_count();
+  ASSERT_EQ(slots, 64u);  // the threshold arithmetic below assumes this
+  // insert_locked grows when (entries + 1) * 3 > slots * 2, with `entries`
+  // already counting the new entry: 41 entries fit in 64 slots, the 42nd
+  // insert doubles the table.
+  for (std::size_t c = 0; c < 41; ++c) {
+    cache.get(key_of(c), [&] { return cost_with(static_cast<Cycles>(c)); });
+  }
+  EXPECT_EQ(cache.slot_count(), 64u);
+  cache.get(key_of(41), [&] { return cost_with(41); });
+  EXPECT_EQ(cache.slot_count(), 128u);
+  EXPECT_EQ(cache.size(), 42u);
+  // Rehash kept every entry reachable under the new mask — no recomputes.
+  for (std::size_t c = 0; c < 42; ++c) {
+    const ServiceCost& entry = cache.get(key_of(c), [&]() -> ServiceCost {
+      ADD_FAILURE() << "key " << c << " recomputed after rehash";
+      return cost_with(0);
+    });
+    EXPECT_EQ(entry.cold, static_cast<Cycles>(c));
+  }
+}
+
+TEST(CostCache, EntryPointersStayStableAcrossGrowth) {
+  ServiceCostCache cache;
+  std::vector<const ServiceCost*> early;
+  for (std::size_t c = 0; c < 30; ++c) {
+    early.push_back(
+        &cache.get(key_of(c), [&] { return cost_with(static_cast<Cycles>(c)); }));
+  }
+  const std::size_t slots_before = cache.slot_count();
+  for (std::size_t c = 30; c < 400; ++c) {
+    cache.get(key_of(c), [&] { return cost_with(static_cast<Cycles>(c)); });
+  }
+  ASSERT_GT(cache.slot_count(), slots_before);  // several growths happened
+  // The deque-backed entries never moved: the addresses handed out before
+  // growth still hold their values and are what lookups return today —
+  // the guarantee simulate()'s per-run raw-pointer resolution leans on.
+  for (std::size_t c = 0; c < early.size(); ++c) {
+    EXPECT_EQ(early[c]->cold, static_cast<Cycles>(c));
+    EXPECT_EQ(early[c], &cache.get(key_of(c), [&] { return cost_with(0); }));
+  }
+}
+
+TEST(CostCache, ConcurrentDuplicateKeyFillComputesEachKeyOnce) {
+  ServiceCostCache cache;
+  constexpr std::size_t kKeys = 16;
+  constexpr std::size_t kThreads = 8;
+  std::vector<std::atomic<int>> computes(kKeys);
+  for (auto& c : computes) c.store(0);
+  std::vector<std::vector<const ServiceCost*>> seen(
+      kThreads, std::vector<const ServiceCost*>(kKeys, nullptr));
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Each thread walks the keys from a different starting point so every
+      // key sees racing duplicate fills, not a single winner filling all.
+      for (std::size_t i = 0; i < kKeys; ++i) {
+        const std::size_t c = (t * 3 + i) % kKeys;
+        seen[t][c] = &cache.get(key_of(c), [&] {
+          computes[c].fetch_add(1, std::memory_order_relaxed);
+          return cost_with(static_cast<Cycles>(c));
+        });
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(cache.size(), kKeys);
+  for (std::size_t c = 0; c < kKeys; ++c) {
+    EXPECT_EQ(computes[c].load(), 1) << "key " << c << " computed more than once";
+    for (std::size_t t = 1; t < kThreads; ++t) {
+      EXPECT_EQ(seen[t][c], seen[0][c]) << "threads saw different entries for key " << c;
+    }
+    EXPECT_EQ(seen[0][c]->cold, static_cast<Cycles>(c));
+  }
+}
+
+}  // namespace
+}  // namespace gnnie::serve
