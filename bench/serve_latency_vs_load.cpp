@@ -88,8 +88,7 @@ int main(int argc, char** argv) {
   Engine engine(EngineConfig::paper_default(false));
   CompiledModel compiled = engine.compile(w.model, w.weights);
   GraphPlanPtr plan = compiled.plan(w.data.graph);
-  const Cycles service =
-      compiled.run_cost({plan, &w.data.features}).total_cycles;
+  const Cycles service = compiled.cost({plan, &w.data.features}).total_cycles;
   std::printf("service time: %llu cycles/request (%s, scale %.3f)\n\n",
               (unsigned long long)service, w.data.spec.name.c_str(), opt.scale);
 
@@ -116,7 +115,8 @@ int main(int argc, char** argv) {
                             (rhos[ri] * static_cast<double>(die_counts[ci]));
     serve::RequestTrace trace = serve::RequestTrace::poisson(
         {{plan, &w.data.features}}, opt.requests, mean_gap, opt.seed);
-    knee_reports[cell] = knee_clusters[ci].simulate(trace, *scheduler);
+    knee_reports[cell] =
+        knee_clusters[ci].simulate(trace, {.custom_scheduler = scheduler.get()});
   });
 
   for (std::size_t ci = 0; ci < die_counts.size(); ++ci) {
@@ -189,9 +189,8 @@ int main(int argc, char** argv) {
     WarmSetup setup;
     setup.plan_a = warm_compiled.plan(w.data.graph);
     setup.plan_b = warm_compiled.plan(w2.data.graph);
-    const Cycles cost_a =
-        warm_compiled.run_cost({setup.plan_a, &w.data.features}).total_cycles;
-    const Cycles cost_b = warm_compiled.run_cost({setup.plan_b, &features_b}).total_cycles;
+    const Cycles cost_a = warm_compiled.cost({setup.plan_a, &w.data.features}).total_cycles;
+    const Cycles cost_b = warm_compiled.cost({setup.plan_b, &features_b}).total_cycles;
     setup.mean_service = (4.0 * cost_a + cost_b) / 5.0;
     setup.cluster = std::make_unique<serve::Cluster>(warm_compiled, warm_dies);
     warm_setups.push_back(std::move(setup));
@@ -204,12 +203,11 @@ int main(int argc, char** argv) {
     const std::size_t ki = (cell / rhos.size()) % warm_kinds.size();
     const std::size_t ri = cell % rhos.size();
     const WarmSetup& setup = warm_setups[wi];
-    auto sched = serve::Scheduler::make(warm_kinds[ki]);
     const double mean_gap = setup.mean_service / (rhos[ri] * static_cast<double>(warm_dies));
     serve::RequestTrace trace = serve::RequestTrace::poisson(
         {{setup.plan_a, &w.data.features, 4.0}, {setup.plan_b, &features_b, 1.0}},
         opt.requests, mean_gap, opt.seed);
-    warm_reports[cell] = setup.cluster->simulate(trace, *sched);
+    warm_reports[cell] = setup.cluster->simulate(trace, {.scheduler = warm_kinds[ki]});
   });
 
   bool first_curve = true;
@@ -273,7 +271,7 @@ int main(int argc, char** argv) {
     BatchSetup setup;
     setup.cap = cap;
     setup.plan = batch_compiled.plan(w.data.graph);
-    setup.service = batch_compiled.run_cost({setup.plan, &w.data.features}).total_cycles;
+    setup.service = batch_compiled.cost({setup.plan, &w.data.features}).total_cycles;
     setup.cluster = std::make_unique<serve::Cluster>(batch_compiled, batch_dies);
     batch_setups.push_back(std::move(setup));
   }
@@ -285,7 +283,8 @@ int main(int argc, char** argv) {
                             (rhos[cell % rhos.size()] * static_cast<double>(batch_dies));
     serve::RequestTrace trace = serve::RequestTrace::poisson(
         {{setup.plan, &w.data.features}}, opt.requests, mean_gap, opt.seed);
-    batch_reports[cell] = setup.cluster->simulate(trace, *batch_sched);
+    batch_reports[cell] =
+        setup.cluster->simulate(trace, {.custom_scheduler = batch_sched.get()});
   });
 
   bool first_batch_curve = true;
@@ -310,6 +309,86 @@ int main(int argc, char** argv) {
            << ",\"coalesce_rate\":" << rep.coalesce_rate()
            << ",\"mean_batch_size\":" << rep.mean_batch_size()
            << ",\"weighting_cycles_saved\":" << rep.weighting_cycles_saved
+           << ",\"makespan_cycles\":" << rep.makespan << "}";
+    }
+    json << "]}";
+    std::printf("\n");
+  }
+  json << "]}";
+
+  // --- Sweep 4: intra-die weight-stream pipelining. -------------------------
+  // A weight-stream-heavy single-graph trace — the sweep-1 graph at 4x the
+  // feature width, which scales the dense weighting stage without touching
+  // the sparse aggregation working set — on a 4-die shortest-queue cluster,
+  // replayed with the two-track pipeline model off and on. Past the knee a
+  // busy die almost always has its next slot already routed, so the slot's
+  // weight stream hides under the running slot's compute and both p99 and
+  // makespan come down by roughly the weighting share of service. CI pins
+  // the rho ~ 1.1 p99 win (scripts/check_bench.py).
+  const std::size_t pipe_dies = 4;
+  DatasetSpec heavy_spec = spec_of(DatasetId::kCora);
+  heavy_spec.feature_length *= 4;
+  bench::Workload heavy =
+      bench::make_workload(heavy_spec, opt.scale, GnnKind::kGcn, opt.seed + 3);
+
+  struct PipeSetup {
+    bool pipeline = false;
+    GraphPlanPtr plan;
+    Cycles service = 0;
+    std::unique_ptr<serve::Cluster> cluster;
+  };
+  std::vector<PipeSetup> pipe_setups;
+  Cycles pipe_weighting = 0;
+  for (bool pipeline : {false, true}) {
+    EngineConfig config = EngineConfig::paper_default(false);
+    config.pipeline.enabled = pipeline;
+    Engine pipe_engine(config);
+    CompiledModel pipe_compiled = pipe_engine.compile(heavy.model, heavy.weights);
+    PipeSetup setup;
+    setup.pipeline = pipeline;
+    setup.plan = pipe_compiled.plan(heavy.data.graph);
+    const ServiceCost pipe_cost = pipe_compiled.cost({setup.plan, &heavy.data.features});
+    setup.service = pipe_cost.total_cycles;
+    pipe_weighting = pipe_cost.weighting_cycles;
+    setup.cluster = std::make_unique<serve::Cluster>(pipe_compiled, pipe_dies);
+    pipe_setups.push_back(std::move(setup));
+  }
+  std::printf("=== pipelining sweep: weight-heavy graph (4x features), %zu dies ===\n",
+              pipe_dies);
+  std::printf("service %llu cycles/request, weighting share %.1f%%\n\n",
+              (unsigned long long)pipe_setups[0].service,
+              100.0 * static_cast<double>(pipe_weighting) /
+                  static_cast<double>(pipe_setups[0].service));
+  json << ",\"pipeline\":{\"dies\":" << pipe_dies
+       << ",\"service_cycles\":" << pipe_setups[0].service
+       << ",\"weighting_cycles\":" << pipe_weighting << ",\"curves\":[";
+  std::vector<ServingReport> pipe_reports(pipe_setups.size() * rhos.size());
+  bench::parallel_for(pipe_reports.size(), [&](std::size_t cell) {
+    const PipeSetup& setup = pipe_setups[cell / rhos.size()];
+    const double mean_gap = static_cast<double>(setup.service) /
+                            (rhos[cell % rhos.size()] * static_cast<double>(pipe_dies));
+    serve::RequestTrace trace = serve::RequestTrace::poisson(
+        {{setup.plan, &heavy.data.features}}, opt.requests, mean_gap, opt.seed);
+    pipe_reports[cell] = setup.cluster->simulate(
+        trace, {.scheduler = serve::SchedulerKind::kShortestQueue});
+  });
+  for (std::size_t pi = 0; pi < pipe_setups.size(); ++pi) {
+    std::printf("--- pipeline %s ---\n", pipe_setups[pi].pipeline ? "on" : "off");
+    std::printf("%8s %14s %14s %16s %14s\n", "rho", "p50 (cyc)", "p99 (cyc)",
+                "hidden (cyc)", "makespan");
+    json << (pi == 0 ? "" : ",") << "{\"pipeline\":"
+         << (pipe_setups[pi].pipeline ? "true" : "false") << ",\"points\":[";
+    for (std::size_t ri = 0; ri < rhos.size(); ++ri) {
+      const ServingReport& rep = pipe_reports[pi * rhos.size() + ri];
+      std::printf("%8.2f %14llu %14llu %16llu %14llu\n", rhos[ri],
+                  (unsigned long long)rep.p50_latency_cycles(),
+                  (unsigned long long)rep.p99_latency_cycles(),
+                  (unsigned long long)rep.pipeline_hidden_cycles,
+                  (unsigned long long)rep.makespan);
+      json << (ri == 0 ? "" : ",") << "{\"rho\":" << rhos[ri]
+           << ",\"p50_latency_cycles\":" << rep.p50_latency_cycles()
+           << ",\"p99_latency_cycles\":" << rep.p99_latency_cycles()
+           << ",\"pipeline_hidden_cycles\":" << rep.pipeline_hidden_cycles
            << ",\"makespan_cycles\":" << rep.makespan << "}";
     }
     json << "]}";

@@ -105,9 +105,9 @@ int main(int argc, char** argv) {
   CompiledModel on_e = Engine(EngineConfig::design_point('E', false))
                            .compile(w.model, w.weights);
   const Cycles cost_on_a =
-      on_a.run_cost({on_a.plan(w.data.graph), &w.data.features}).total_cycles;
+      on_a.cost({on_a.plan(w.data.graph), &w.data.features}).total_cycles;
   const Cycles cost_on_e =
-      on_e.run_cost({on_e.plan(w.data.graph), &w.data.features}).total_cycles;
+      on_e.cost({on_e.plan(w.data.graph), &w.data.features}).total_cycles;
   const Cycles cost_slow = std::max(cost_on_a, cost_on_e);
   const auto tight_slo = static_cast<std::int64_t>(cost_slow + cost_slow / 4);
   const auto loose_slo = static_cast<std::int64_t>(8 * cost_slow);
@@ -152,9 +152,9 @@ int main(int argc, char** argv) {
       const serve::FleetDieConfig& die_cfg = spec.configs[spec.assignment[d]];
       CompiledModel on_die = Engine(die_cfg.engine).compile(w.model, w.weights);
       const Cycles die_a =
-          on_die.run_cost({on_die.plan(w.data.graph), &w.data.features}).total_cycles;
+          on_die.cost({on_die.plan(w.data.graph), &w.data.features}).total_cycles;
       const Cycles die_b =
-          on_die.run_cost({on_die.plan(w2.data.graph), &features_b}).total_cycles;
+          on_die.cost({on_die.plan(w2.data.graph), &features_b}).total_cycles;
       const double mean_service =
           (4.0 * static_cast<double>(die_a) + static_cast<double>(die_b)) / 5.0;
       setup.fleet_rate += 1.0 / mean_service;
@@ -167,7 +167,8 @@ int main(int argc, char** argv) {
     const double mean_gap = 1.0 / (rhos[cell % rhos.size()] * setup.fleet_rate);
     serve::RequestTrace trace =
         serve::RequestTrace::poisson({tight, loose}, opt.requests, mean_gap, opt.seed);
-    fleet_reports[cell] = setup.cluster->simulate(trace, *scheduler, *admission);
+    fleet_reports[cell] = setup.cluster->simulate(
+        trace, {.custom_scheduler = scheduler.get(), .custom_admission = admission.get()});
   });
 
   for (std::size_t mi = 0; mi < mixes.size(); ++mi) {

@@ -112,7 +112,7 @@ ScenarioResult run_scenario(const std::string& name, const gnnie::serve::Cluster
   result.name = name;
   for (std::size_t rep = 0; rep < opt.reps; ++rep) {
     const auto t0 = clock::now();
-    const gnnie::ServingReport report = cluster.simulate(trace, scheduler);
+    const gnnie::ServingReport report = cluster.simulate(trace, {.custom_scheduler = &scheduler});
     const double seconds = std::chrono::duration<double>(clock::now() - t0).count();
     const std::uint64_t checksum = fold_records(report);
     if (rep == 0) {
@@ -159,7 +159,7 @@ int main(int argc, char** argv) {
     Engine engine(EngineConfig::paper_default(false));
     CompiledModel compiled = engine.compile(w.model, w.weights);
     GraphPlanPtr plan = compiled.plan(w.data.graph);
-    const Cycles service = compiled.run_cost({plan, &w.data.features}).total_cycles;
+    const Cycles service = compiled.cost({plan, &w.data.features}).total_cycles;
     const double mean_gap = static_cast<double>(service) / (0.9 * static_cast<double>(dies));
     serve::RequestTrace trace = serve::RequestTrace::poisson(
         {{plan, &w.data.features}}, opt.requests, mean_gap, opt.seed);
@@ -185,8 +185,8 @@ int main(int argc, char** argv) {
     CompiledModel warm_compiled = warm_engine.compile(w.model, w.weights);
     GraphPlanPtr warm_a = warm_compiled.plan(w.data.graph);
     GraphPlanPtr warm_b = warm_compiled.plan(w2.data.graph);
-    const Cycles cost_a = warm_compiled.run_cost({warm_a, &w.data.features}).total_cycles;
-    const Cycles cost_b = warm_compiled.run_cost({warm_b, &features_b}).total_cycles;
+    const Cycles cost_a = warm_compiled.cost({warm_a, &w.data.features}).total_cycles;
+    const Cycles cost_b = warm_compiled.cost({warm_b, &features_b}).total_cycles;
     const double mean_service = (4.0 * cost_a + cost_b) / 5.0;
     const double mean_gap = mean_service / (1.1 * static_cast<double>(dies));
     serve::RequestTrace trace = serve::RequestTrace::poisson(

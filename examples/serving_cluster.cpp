@@ -37,8 +37,8 @@ int main() {
   //    cache and are shared by every request.
   GraphPlanPtr cora_plan = compiled.plan(cora.graph);
   GraphPlanPtr cite_plan = compiled.plan(cite.graph);
-  const Cycles cora_cost = compiled.run_cost({cora_plan, &cora.features}).total_cycles;
-  const Cycles cite_cost = compiled.run_cost({cite_plan, &cite_features}).total_cycles;
+  const Cycles cora_cost = compiled.cost({cora_plan, &cora.features}).total_cycles;
+  const Cycles cite_cost = compiled.cost({cite_plan, &cite_features}).total_cycles;
   std::printf("service time: cora %llu cycles, citeseer %llu cycles\n",
               (unsigned long long)cora_cost, (unsigned long long)cite_cost);
 
@@ -58,8 +58,7 @@ int main() {
   for (std::size_t dies : {std::size_t{1}, std::size_t{4}}) {
     serve::Cluster cluster(compiled, dies);
     for (serve::SchedulerKind kind : serve::all_scheduler_kinds()) {
-      auto scheduler = serve::Scheduler::make(kind);
-      ServingReport rep = cluster.simulate(trace, *scheduler);
+      ServingReport rep = cluster.simulate(trace, {.scheduler = kind});
       const double us = 1e6 / rep.clock_hz;
       double util = 0.0;
       for (std::size_t d = 0; d < dies; ++d) util += rep.die_utilization(d);
@@ -94,8 +93,7 @@ int main() {
               "warm-hit", "swaps");
   serve::Cluster warm_cluster(warm_compiled, 4);
   for (serve::SchedulerKind kind : serve::all_scheduler_kinds()) {
-    auto scheduler = serve::Scheduler::make(kind);
-    ServingReport rep = warm_cluster.simulate(warm_trace, *scheduler);
+    ServingReport rep = warm_cluster.simulate(warm_trace, {.scheduler = kind});
     const double us = 1e6 / rep.clock_hz;
     std::printf("%-16s %12.1f %12.1f %9.1f%% %8llu\n", rep.scheduler.c_str(),
                 rep.p50_latency_cycles() * us, rep.p99_latency_cycles() * us,
@@ -122,8 +120,7 @@ int main() {
               "coalesce", "mean batch", "saved (cyc)");
   serve::Cluster batch_cluster(batch_compiled, 4);
   for (serve::SchedulerKind kind : serve::all_scheduler_kinds()) {
-    auto scheduler = serve::Scheduler::make(kind);
-    ServingReport rep = batch_cluster.simulate(batch_trace, *scheduler);
+    ServingReport rep = batch_cluster.simulate(batch_trace, {.scheduler = kind});
     const double us = 1e6 / rep.clock_hz;
     std::printf("%-16s %12.1f %12.1f %9.1f%% %11.2f %13llu\n", rep.scheduler.c_str(),
                 rep.p50_latency_cycles() * us, rep.p99_latency_cycles() * us,

@@ -45,14 +45,14 @@ int main() {
   for (std::size_t c = 0; c < spec.configs.size(); ++c) {
     CompiledModel on_c = Engine(spec.configs[c].engine).compile(model, weights);
     std::printf("  design %s: cora %llu cycles/request\n", spec.configs[c].label.c_str(),
-                (unsigned long long)on_c.run_cost({on_c.plan(cora.graph), &cora.features})
+                (unsigned long long)on_c.cost({on_c.plan(cora.graph), &cora.features})
                     .total_cycles);
   }
 
   // 3. Deadline trace: the hot stream gets 1.5x the reference service time
   //    to finish, the cold stream 10x. Each arrival is stamped with its
   //    absolute deadline (arrival + slo_cycles); slo_cycles = 0 means no SLO.
-  const Cycles cora_cost = compiled.run_cost({cora_plan, &cora.features}).total_cycles;
+  const Cycles cora_cost = compiled.cost({cora_plan, &cora.features}).total_cycles;
   serve::TraceStream hot{cora_plan, &cora.features, /*weight=*/4.0,
                          static_cast<std::int64_t>(cora_cost + cora_cost / 2)};
   serve::TraceStream cold{cite_plan, &cite_features, /*weight=*/1.0,
@@ -67,8 +67,7 @@ int main() {
   std::printf("%-16s %12s %10s %10s %10s\n", "scheduler", "attainment", "hot", "cold",
               "p99 (cyc)");
   for (serve::SchedulerKind kind : serve::all_scheduler_kinds()) {
-    auto scheduler = serve::Scheduler::make(kind);
-    ServingReport rep = fleet.simulate(trace, *scheduler);
+    ServingReport rep = fleet.simulate(trace, {.scheduler = kind});
     std::printf("%-16s %11.1f%% %9.1f%% %9.1f%% %10llu\n", rep.scheduler.c_str(),
                 100.0 * rep.slo_attainment(), 100.0 * rep.stream_slo_attainment(0),
                 100.0 * rep.stream_slo_attainment(1),
@@ -84,17 +83,19 @@ int main() {
   doomed.slo_cycles = static_cast<std::int64_t>(cora_cost - cora_cost / 10);
   serve::RequestTrace overload = serve::RequestTrace::poisson(
       {doomed, cold}, /*count=*/200, static_cast<double>(cora_cost) / 2.5, /*seed=*/11);
-  auto slack = serve::Scheduler::make(serve::SchedulerKind::kSloAware);
-  auto shed = serve::AdmissionPolicy::make(serve::AdmissionKind::kShedHopeless);
-  ServingReport admit_all = fleet.simulate(overload, *slack);
-  ServingReport shedding = fleet.simulate(overload, *slack, *shed);
+  ServingReport admit_all =
+      fleet.simulate(overload, {.scheduler = serve::SchedulerKind::kSloAware});
+  ServingReport shedding =
+      fleet.simulate(overload, {.scheduler = serve::SchedulerKind::kSloAware,
+                                .admission = serve::AdmissionKind::kShedHopeless});
   std::printf("\nslo-aware + admission (hot SLO below best-case service):\n");
   std::printf("%-16s %12s %10s %12s\n", "admission", "attainment", "shed", "p99 (cyc)");
   std::printf("%-16s %11.1f%% %9llu %12llu\n", "admit-all",
               100.0 * admit_all.slo_attainment(),
               (unsigned long long)admit_all.shed_count(),
               (unsigned long long)admit_all.p99_latency_cycles());
-  std::printf("%-16s %11.1f%% %9llu %12llu\n", shed->name(),
+  std::printf("%-16s %11.1f%% %9llu %12llu\n",
+              serve::to_string(serve::AdmissionKind::kShedHopeless),
               100.0 * shedding.slo_attainment(),
               (unsigned long long)shedding.shed_count(),
               (unsigned long long)shedding.p99_latency_cycles());

@@ -6,8 +6,11 @@ offered loads. Two report shapes are understood, detected from the JSON
 itself:
 
   * bench_serve_latency_vs_load (baseline bench/baseline_serve.json):
-    gates p99 latency per curve — sweep 1's per-die-count queueing knee
-    and sweep 3's per-max_coalesce coalescing curves.
+    gates p99 latency per curve — sweep 1's per-die-count queueing knee,
+    sweep 3's per-max_coalesce coalescing curves, and sweep 4's pipeline
+    on/off curves. Sweep 4 also carries a baseline-free pin: the
+    pipelined p99 at rho ~ 1.1 must beat serial by >= 5% on the
+    weight-stream-heavy scenario.
   * bench_serve_slo_vs_cost (top-level "fleets" key; baseline
     bench/baseline_slo.json): gates SLO attainment per fleet mix — an
     absolute drop beyond --slo-threshold fails — plus the same relative
@@ -69,6 +72,34 @@ def curves_of(report):
         yield f"{curve['dies']} die(s)", curve["points"]
     for curve in report.get("batching", {}).get("curves", []):
         yield f"max_coalesce {curve['max_coalesce']}", curve["points"]
+    for curve in report.get("pipeline", {}).get("curves", []):
+        yield f"pipeline {'on' if curve['pipeline'] else 'off'}", curve["points"]
+
+
+def check_pipeline_win(report, rho=1.1, min_improvement=0.05):
+    """Pin the pipelining payoff: on the weight-stream-heavy sweep the
+    two-track timeline's p99 past the knee must beat serial service by at
+    least `min_improvement`. This compares the on/off curves within the
+    current run (no baseline involved), so the pin survives baseline
+    refreshes — a modeling change that quietly erodes the overlap fails
+    here even if both curves move together."""
+    curves = {c["pipeline"]: c["points"]
+              for c in report.get("pipeline", {}).get("curves", [])}
+    if set(curves) != {True, False}:
+        sys.exit("check_bench: pipeline sweep must carry exactly one on and "
+                 "one off curve")
+    off = point_at_rho(curves[False], rho)
+    on = point_at_rho(curves[True], rho)
+    if off["rho"] != on["rho"]:
+        sys.exit("check_bench: pipeline on/off curves sampled different loads")
+    win = (off["p99_latency_cycles"] - on["p99_latency_cycles"]) \
+        / off["p99_latency_cycles"]
+    verdict = "OK" if win >= min_improvement else "REGRESSION"
+    print(f"pipeline win pin at rho ~ {off['rho']} (need >= "
+          f"{min_improvement:.0%} p99 improvement over serial):")
+    print(f"  serial p99 {off['p99_latency_cycles']:>10} cycles, pipelined "
+          f"{on['p99_latency_cycles']:>10} cycles ({win:+.1%}) {verdict}")
+    return [] if win >= min_improvement else [f"pipeline win @ rho {off['rho']}"]
 
 
 def check_cache(current, baseline, threshold):
@@ -266,6 +297,9 @@ def main():
                 improvements.append(tag)
             print(f"  {label:>20}: baseline attainment {base_att:>7.1%}, current "
                   f"{cur_att:>7.1%} ({-drop:+.1%} absolute) {verdict}")
+
+    if "pipeline" in current:
+        regressions += check_pipeline_win(current)
 
     if improvements:
         print(f"note: {len(improvements)} curve(s) improved past the threshold — "

@@ -1,0 +1,12 @@
+// Violation fixture for scripts/lint_invariants.py --self-test (rule:
+// shims). Never compiled — the linter is a text scan. Three deprecated
+// calls below must be flagged: a run_cost cost query, a run_cost_batch
+// cost query, and a positional simulate. The braced SimulateOptions call
+// is the supported entry point and must NOT be flagged.
+void serve_with_deprecated_shims() {
+  auto cold = compiled.run_cost({plan, &features});
+  auto batch = compiled.run_cost_batch(requests, /*warm_fraction=*/0.5);
+  auto rep = cluster.simulate(trace, *scheduler);
+  auto ok = cluster.simulate(trace, {.custom_scheduler = scheduler.get()});
+  (void)cold, (void)batch, (void)rep, (void)ok;
+}

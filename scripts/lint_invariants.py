@@ -20,6 +20,15 @@ produce bit-identical reports, on every platform, serial or parallel):
            nondeterministic. Lookup-only use is fine; declaring such a
            container is flagged only when the file also iterates it.
 
+  shims    No deprecated-shim calls in shipping code: the positional
+           CompiledModel::run_cost / run_cost_batch cost queries and the
+           positional Cluster::simulate(trace, scheduler[, admission])
+           overloads are compatibility shims pinned for bit-exactness, not
+           entry points. src/, bench/, and examples/ must call
+           cost(CostQuery) and simulate(trace, SimulateOptions) instead;
+           tests/ is exempt (the equivalence suites pin the shims against
+           the new entry points by design).
+
   headers  Every public header under src/ (plus bench/bench_util.hpp) must
            compile standalone: a generated one-include translation unit per
            header is compiled with -fsyntax-only. A header that only
@@ -27,7 +36,7 @@ produce bit-identical reports, on every platform, serial or parallel):
            incremental refactors silently.
 
 A finding can be suppressed by putting  lint-invariants: allow(<rule>)  in a
-comment on the offending line (rule = clocks | ptrmaps).
+comment on the offending line (rule = clocks | ptrmaps | shims).
 
 `--self-test` runs the rules against the checked-in violation fixtures in
 scripts/lint_fixtures/ and exits nonzero unless every fixture is flagged —
@@ -161,6 +170,64 @@ def check_ptrmaps(path, text):
 
 
 # ---------------------------------------------------------------------------
+# shims rule
+
+# Member-access only: the qualified CompiledModel::run_cost / Cluster::
+# simulate definitions and declarations of the shims themselves never carry
+# a '.' or '->' and stay unflagged.
+SHIM_COST_CALL = re.compile(r"(?:\.|->)\s*run_cost(?:_batch)?\s*\(")
+SHIM_SIMULATE_CALL = re.compile(r"(?:\.|->)\s*simulate\s*\(")
+
+
+def check_shims(path, text):
+    """Flag calls to the deprecated cost/simulate compatibility shims."""
+    lines = text.splitlines()
+    # Search comment-stripped text (prose legitimately names the shims) but
+    # keep the line structure so match offsets map back to line numbers.
+    code_text = "\n".join(strip_line_comment(line) for line in lines)
+
+    def lineno_of(pos):
+        return code_text.count("\n", 0, pos) + 1
+
+    def flagged(pos, rule):
+        return not suppressed(lines[lineno_of(pos) - 1], rule)
+
+    findings = []
+    for m in SHIM_COST_CALL.finditer(code_text):
+        if flagged(m.start(), "shims"):
+            findings.append(
+                (path, lineno_of(m.start()),
+                 "shims: run_cost/run_cost_batch are deprecated cost shims; "
+                 "query CompiledModel::cost(CostQuery) instead"))
+    for m in SHIM_SIMULATE_CALL.finditer(code_text):
+        # Walk the argument list with bracket counting; only the positional
+        # (trace, scheduler[, admission]) shims are deprecated — a braced
+        # SimulateOptions second argument (or none, the default options) is
+        # the supported entry point.
+        depth, i, second = 1, m.end(), None
+        while i < len(code_text) and depth > 0:
+            ch = code_text[i]
+            if ch in "([{":
+                depth += 1
+            elif ch in ")]}":
+                depth -= 1
+            elif ch == "," and depth == 1 and second is None:
+                second = i + 1
+            i += 1
+        if depth != 0 or second is None:
+            continue
+        if code_text[second:i - 1].lstrip().startswith("{"):
+            continue
+        if flagged(m.start(), "shims"):
+            findings.append(
+                (path, lineno_of(m.start()),
+                 "shims: positional simulate(trace, scheduler[, admission]) "
+                 "is a deprecated shim; pass SimulateOptions (e.g. "
+                 "{.custom_scheduler = &scheduler})"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
 # headers rule
 
 def check_headers(root, headers, include_dirs, compiler):
@@ -221,6 +288,13 @@ def run_lint(root, compiler, check_headers_too=True):
         rel = os.path.relpath(path, root)
         findings += check_ptrmaps(rel, text)
 
+    for path in iter_files(root, ["src", "bench", "examples"],
+                           {".cpp", ".hpp", ".h"}):
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        rel = os.path.relpath(path, root)
+        findings += check_shims(rel, text)
+
     if check_headers_too:
         src = os.path.join(root, "src")
         bench = os.path.join(root, "bench")
@@ -252,6 +326,15 @@ def self_test(root, compiler):
         text = f.read()
     expect("bad_ptr_map_iteration.cpp", check_ptrmaps(path, text), "ptrmaps")
 
+    path = os.path.join(fixtures, "bad_deprecated_shim.cpp")
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    # Both shim families must be caught, and the fixture's braced
+    # SimulateOptions call must not be — three findings exactly.
+    if len(check_shims(path, text)) != 3:
+        failures.append("shims rule did not flag exactly the three "
+                        "deprecated calls in bad_deprecated_shim.cpp")
+
     bad_header = os.path.join(fixtures, "bad_header.hpp")
     expect("bad_header.hpp",
            check_headers(fixtures, [bad_header], [fixtures], compiler),
@@ -262,7 +345,8 @@ def self_test(root, compiler):
     path = os.path.join(fixtures, "clean.cpp")
     with open(path, encoding="utf-8") as f:
         text = f.read()
-    if check_clocks(path, text) or check_ptrmaps(path, text):
+    if check_clocks(path, text) or check_ptrmaps(path, text) \
+            or check_shims(path, text):
         failures.append("clean.cpp fixture was falsely flagged")
 
     if failures:

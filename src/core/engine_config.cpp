@@ -53,6 +53,12 @@ void EngineConfig::validate() const {
   GNNIE_REQUIRE(plan_cache_capacity >= 1, "plan cache must hold at least one plan");
   GNNIE_REQUIRE(batching.max_coalesce >= 1,
                 "a service slot holds at least the head request (max_coalesce >= 1)");
+  for (std::size_t i = 0; i < pipeline.variant_widths.size(); ++i) {
+    GNNIE_REQUIRE(pipeline.variant_widths[i] >= 1,
+                  "plan-variant widths must be at least 1");
+    GNNIE_REQUIRE(i == 0 || pipeline.variant_widths[i] > pipeline.variant_widths[i - 1],
+                  "plan-variant widths must be strictly increasing");
+  }
 }
 
 }  // namespace gnnie

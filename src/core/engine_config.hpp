@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "arch/pe_array.hpp"
 #include "arch/sfu.hpp"
@@ -97,6 +98,38 @@ struct BatchingConfig {
   std::uint32_t max_coalesce = 1;
 };
 
+/// Intra-die weighting/aggregation pipelining and per-shape plan variants
+/// for the serving cluster (serve::Cluster).
+///
+/// With `enabled`, a die's service timeline splits into two resource
+/// tracks: a *stream* track (the slot head's weight streaming — the
+/// weighting-stage share of its service — plus any variant setup) and a
+/// *compute* track (everything else). While the die's compute track is
+/// still busy with slot k, the stream track may already run slot k+1's
+/// weight streaming, so a queued slot's weights can be fully hidden behind
+/// the predecessor's aggregation and `pipelined ≤ serial` holds per slot by
+/// construction. Default-off: every slot is charged serially, bit-exact
+/// with the pipeline-unaware simulator.
+///
+/// `variant_widths` compiles a family of per-graph plan variants
+/// (GraphPlan::variants, the AR-1/AR-8-style geometry family): a variant
+/// of width w fuses at most w slot members over one weight stream —
+/// followers beyond position w re-stream weights and lose the coalescing
+/// saving — and costs `(w − 1) · variant_setup_cycles` of one-time slot
+/// setup on the stream track. Dispatch picks the cheapest variant per slot
+/// at assembly time (smallest width on ties; deterministic), recorded in
+/// RequestRecord::variant_width. Empty (the default) means a single
+/// unbounded variant of width 0 and zero setup — exactly the pre-variant
+/// slot model, bit-exact.
+struct PipelineConfig {
+  bool enabled = false;
+  /// Ascending, strictly increasing coalesce widths (each ≥ 1); empty =
+  /// the single unbounded default variant (family size 1).
+  std::vector<std::uint32_t> variant_widths;
+  /// Per-extra-width slot setup charge of a wide variant (see above).
+  Cycles variant_setup_cycles = 64;
+};
+
 struct EngineConfig {
   ArrayConfig array = ArrayConfig::design_e();
   BufferSizes buffers = BufferSizes::for_dataset(true);
@@ -124,6 +157,8 @@ struct EngineConfig {
   WarmthConfig warmth;
   /// Serving-layer knob: die-level same-plan request coalescing.
   BatchingConfig batching;
+  /// Serving-layer knob: intra-die stage pipelining and plan variants.
+  PipelineConfig pipeline;
 
   /// The per-die residency budget the warmth model actually uses:
   /// warmth.die_budget_bytes, defaulting to the input buffer capacity.

@@ -203,6 +203,39 @@ Cycles warmth_discount_cycles(const AggregationReport& agg, double warm_fraction
   return static_cast<Cycles>(warm_fraction * static_cast<double>(exposed) * fetch_share);
 }
 
+Cycles warmth_stage_discount(const WarmthStage& stage, double warm_fraction) {
+  GNNIE_REQUIRE(warm_fraction >= 0.0 && warm_fraction <= 1.0,
+                "warm fraction must be in [0, 1]");
+  if (warm_fraction <= 0.0) return 0;
+  return static_cast<Cycles>(warm_fraction * static_cast<double>(stage.exposed_cycles) *
+                             stage.fetch_share);
+}
+
+std::vector<WarmthStage> warmth_stages_of(const InferenceReport& rep) {
+  std::vector<WarmthStage> stages;
+  stages.reserve(rep.layers.size());
+  for (const LayerReport& lr : rep.layers) {
+    const AggregationReport& agg = lr.aggregation;
+    if (agg.dram_bytes == 0) continue;  // discount is identically 0
+    WarmthStage stage;
+    stage.exposed_cycles =
+        agg.total_cycles > agg.compute_cycles ? agg.total_cycles - agg.compute_cycles : 0;
+    stage.fetch_share = std::min(1.0, static_cast<double>(agg.input_fetch_bytes) /
+                                          static_cast<double>(agg.dram_bytes));
+    stages.push_back(stage);
+  }
+  return stages;
+}
+
+Cycles weighting_stage_cycles(const InferenceReport& rep) {
+  Cycles cycles = 0;
+  for (const LayerReport& lr : rep.layers) {
+    cycles += lr.weighting.total_cycles;
+    if (lr.mlp2) cycles += lr.mlp2->total_cycles;
+  }
+  return cycles;
+}
+
 Cycles warm_total_cycles(const InferenceReport& rep, double warm_fraction) {
   Cycles total = rep.total_cycles;
   for (const LayerReport& lr : rep.layers) {

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/aggregation.hpp"
@@ -87,6 +88,10 @@ struct RequestRecord {
   /// Size of the coalesced same-plan group this request was serviced in
   /// (1 = alone in its slot; always 1 when coalescing is off).
   std::uint32_t group_size = 1;
+  /// Width of the plan variant the slot this request ran in was dispatched
+  /// under (EngineConfig::pipeline.variant_widths). 0 = the unbounded
+  /// default variant — always 0 when no variant family is configured.
+  std::uint32_t variant_width = 0;
   /// Absolute deadline stamped by the trace (0 = no SLO on this request).
   Cycles deadline = 0;
   /// The admission policy shed this request instead of servicing it. Shed
@@ -133,6 +138,19 @@ struct ServingReport {
   std::uint32_t max_coalesce = 1;
   std::vector<std::uint64_t> batch_size_counts;
   Cycles weighting_cycles_saved = 0;
+  /// Pipelining (EngineConfig::pipeline) state of the run that produced
+  /// this report. With pipeline_enabled, pipeline_hidden_cycles is the
+  /// summed stream-track time that ran while the die's compute track was
+  /// still busy with the previous slot (the cycles pipelining removed from
+  /// the serial timeline), and die_stream_cycles is each die's total
+  /// stream-track occupancy. Both zero when disabled.
+  bool pipeline_enabled = false;
+  Cycles pipeline_hidden_cycles = 0;
+  std::vector<Cycles> die_stream_cycles;
+  /// Plan-variant dispatch histogram: (variant width → slots dispatched
+  /// under it), ascending width order. Empty when no variant family is
+  /// configured (every slot implicitly ran the width-0 default variant).
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> variant_counts;
   /// SLO state of the run that produced this report: true iff the trace
   /// carried any deadline. When false every record's deadline is 0, nothing
   /// is shed, and the JSON keeps the schema-version-1 shape.
@@ -232,6 +250,37 @@ Cycles percentile_of_sorted(const std::vector<Cycles>& sorted, double pct);
 
 /// Cycles one aggregation stage saves at the given warm fraction.
 Cycles warmth_discount_cycles(const AggregationReport& agg, double warm_fraction);
+
+/// One aggregation stage's warmth surface, extracted from a cold report so
+/// warm costs can be re-priced without holding the full InferenceReport:
+/// the stage's exposed DRAM-fetch time and the read share of its traffic.
+/// warmth_stage_discount(stage, f) reproduces warmth_discount_cycles on the
+/// stage it was extracted from bit-exactly (same operands, same arithmetic
+/// order) — serve::ServiceCostCache memo entries store these instead of the
+/// cold report.
+struct WarmthStage {
+  Cycles exposed_cycles = 0;
+  double fetch_share = 0.0;
+};
+
+/// Cycles one extracted stage saves at the given warm fraction (bit-exact
+/// with warmth_discount_cycles on the stage's source report).
+Cycles warmth_stage_discount(const WarmthStage& stage, double warm_fraction);
+
+/// The run's aggregation-stage warmth surfaces, cold-report layer order.
+/// Stages that can never discount (no DRAM traffic) are skipped — their
+/// discount is exactly 0 at every fraction.
+std::vector<WarmthStage> warmth_stages_of(const InferenceReport& rep);
+
+/// The run's weighting-stage share: Σ over layers of the weighting (and
+/// GIN-mlp2 / DiffPool-coarsening matmul) stage totals — the cycles a
+/// serving die spends streaming weights and multiplying features through
+/// them. The remainder (total − this) is the aggregation-stage share
+/// (aggregation + attention + activation), the part that cannot overlap the
+/// next slot's weight streaming. The batching discount touches only the
+/// weighting share and the warmth discount only the aggregation share, so
+/// the split is stable under both.
+Cycles weighting_stage_cycles(const InferenceReport& rep);
 
 /// Total cycles of the run described by `rep` at the given warm fraction
 /// (rep itself stays cold/unmodified).

@@ -82,10 +82,15 @@ std::string report_to_json(const InferenceReport& report) {
 void write_serving_report_json(std::ostream& out, const ServingReport& report) {
   const std::vector<Cycles> latencies = report.sorted_latencies();  // sort once
   // Version 1 is the pre-SLO shape plus this version field; version 2 adds
-  // the fleet/SLO blocks and the per-record deadline/shed fields. Reports
-  // with SLOs disabled on a homogeneous cluster stay version 1, so existing
-  // consumers keep parsing unchanged output.
-  const int schema_version = report.slo_enabled || report.heterogeneous ? 2 : 1;
+  // the fleet/SLO blocks and the per-record deadline/shed fields; version 3
+  // adds the pipeline/plan-variant blocks and the per-record variant width.
+  // Reports from simulations with those features off keep the lowest shape
+  // that describes them, so existing consumers keep parsing unchanged
+  // output.
+  const bool variants = !report.variant_counts.empty();
+  const int schema_version = report.pipeline_enabled || variants ? 3
+                             : report.slo_enabled || report.heterogeneous ? 2
+                                                                          : 1;
   out << "{\"schema_version\":" << schema_version << ",\"dies\":" << report.dies
       << ",\"scheduler\":\"" << report.scheduler
       << "\",\"requests\":" << report.requests.size() << ",\"clock_hz\":" << report.clock_hz
@@ -145,6 +150,29 @@ void write_serving_report_json(std::ostream& out, const ServingReport& report) {
     }
     out << "]";
   }
+  if (report.pipeline_enabled) {
+    // Pipelining rollup: the stream-track cycles the two-track timeline hid
+    // under compute, and each die's stream-track occupancy. Emitted only
+    // when the pipeline model ran, so single-track reports keep their
+    // pre-pipeline shape.
+    out << ",\"pipeline_enabled\":true"
+        << ",\"pipeline_hidden_cycles\":" << report.pipeline_hidden_cycles
+        << ",\"die_stream_cycles\":[";
+    for (std::size_t d = 0; d < report.die_stream_cycles.size(); ++d) {
+      out << (d == 0 ? "" : ",") << report.die_stream_cycles[d];
+    }
+    out << "]";
+  }
+  if (variants) {
+    // Plan-variant rollup: how many service slots each family width won at
+    // dispatch. Emitted only when a variant family was configured.
+    out << ",\"variant_counts\":[";
+    for (std::size_t v = 0; v < report.variant_counts.size(); ++v) {
+      out << (v == 0 ? "" : ",") << "{\"width\":" << report.variant_counts[v].first
+          << ",\"slots\":" << report.variant_counts[v].second << "}";
+    }
+    out << "]";
+  }
   if (report.slo_enabled) {
     // SLO rollup: attainment overall, per stream, and per die, plus the
     // shed counter (serve/slo.hpp). Emitted only for deadline-carrying
@@ -174,6 +202,9 @@ void write_serving_report_json(std::ostream& out, const ServingReport& report) {
     }
     if (report.max_coalesce > 1) {
       out << ",\"group_size\":" << r.group_size;
+    }
+    if (variants) {
+      out << ",\"variant_width\":" << r.variant_width;
     }
     if (report.slo_enabled) {
       // deadline 0 = this request carries no SLO. A shed record's start and

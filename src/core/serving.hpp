@@ -49,6 +49,25 @@ namespace gnnie {
 
 class CompiledModel;
 
+/// One member of a plan's compiled variant family (GraphPlan::variants):
+/// geometry specialized for a slot shape. A variant of width w fuses at
+/// most w coalesced slot members over one weight stream — members beyond
+/// position w re-stream weights serially (no follower saving) — and adds
+/// `setup_cycles` of one-time reconfiguration to the slot (charged on the
+/// stream track). Width 0 is the unbounded default variant: every follower
+/// shares the stream, zero setup — exactly the pre-variant slot model.
+struct PlanVariant {
+  std::uint32_t width = 0;
+  Cycles setup_cycles = 0;
+};
+
+/// The variant family `config.pipeline` prescribes, ascending width order,
+/// never empty (no widths configured → the single unbounded default
+/// variant). plan() compiles exactly this family into every GraphPlan;
+/// exposed so the serving cluster derives the identical family without a
+/// plan in hand.
+std::vector<PlanVariant> plan_variant_family(const EngineConfig& config);
+
 /// Per-graph planning output: the cache policy's DRAM layout and the
 /// per-layer adjacency bindings, computed once and reused by every run on
 /// the same graph. The planned Csr is referenced, not copied — it must
@@ -103,6 +122,14 @@ class GraphPlan {
   /// layers). The serving cluster's per-die warmth model tracks residency
   /// in this unit (serve/warmth.hpp).
   Bytes warm_working_set_bytes() const { return warm_working_set_bytes_; }
+
+  /// The plan's compiled variant family (EngineConfig::pipeline — the
+  /// AR-1/AR-8-style geometry variants; see PipelineConfig), ascending
+  /// width order, never empty. With no family configured this is the
+  /// single unbounded default variant {width 0, setup 0} — the pre-variant
+  /// slot model. CompiledModel::cost and the serving cluster dispatch the
+  /// cheapest member per slot.
+  const std::vector<PlanVariant>& variants() const { return variants_; }
 
  private:
   struct SampledBinding {
@@ -159,6 +186,8 @@ class GraphPlan {
   /// (feature width → dual-cache pinned size); filled only for kDualCache.
   std::vector<std::pair<std::size_t, std::uint64_t>> dual_pinned_;
   Bytes warm_working_set_bytes_ = 0;
+  /// Compiled variant family (plan_variant_family(config)); never empty.
+  std::vector<PlanVariant> variants_;
 };
 
 using GraphPlanPtr = std::shared_ptr<const GraphPlan>;
@@ -180,11 +209,81 @@ struct BatchResult {
 /// weights and shared per-plan setup, skipping the weight-stream share of
 /// its weighting stages' exposed memory time (batch_follower_saved_cycles,
 /// core/report.hpp). total_cycles ≤ serial_cycles by construction.
+/// DEPRECATED alongside run_cost_batch — ServiceCost carries the same
+/// numbers plus the per-stage split.
 struct BatchCostReport {
   std::vector<Cycles> request_cycles;  ///< charged cycles per request, group order
   Cycles total_cycles = 0;             ///< the slot's service time (Σ request_cycles)
   Cycles serial_cycles = 0;            ///< the same requests serviced serially
   Cycles weighting_saved_cycles = 0;   ///< serial_cycles − total_cycles
+};
+
+/// One service-cost question: how long does this slot of requests run?
+/// The unified parameter surface of CompiledModel::cost — warmth,
+/// coalescing, and the pipeline/variant knobs in one struct, replacing the
+/// run_cost / run_cost(warm) / run_cost_batch overload family. Designed for
+/// designated initializers: `{.requests = reqs, .warm_fraction = 0.5}`.
+struct CostQuery {
+  /// Slot members, head first. All must share one plan fingerprint.
+  std::span<const RunRequest> requests;
+  /// Share of the plan's working set resident at slot start, in [0, 1],
+  /// applied to every member (apply_warmth_discount).
+  double warm_fraction = 0.0;
+  /// Coalesce requests[1..] as followers of the head's weight stream (the
+  /// run_cost_batch slot model). false prices the members back-to-back
+  /// serially. Irrelevant for single-request queries.
+  bool coalesce = true;
+  /// Plan variant to price the slot under: 0 picks the cheapest member of
+  /// the plan's family (dispatch's rule); a nonzero width selects that
+  /// family member explicitly (it must exist).
+  std::uint32_t variant_width = 0;
+};
+
+/// Scalar summary of one request's staged service cost on one engine
+/// config — the POD slice of ServiceCost that routing code copies around
+/// (serve::RequestEstimate embeds one per (die, request)). All cycles are
+/// in the priced config's clock domain until a caller scales them.
+struct ServiceCostSummary {
+  Cycles cold_cycles = 0;           ///< lone cold service (run total)
+  Cycles warm_cycles = 0;           ///< lone fully-warm service (fraction 1)
+  Cycles swap_penalty_cycles = 0;   ///< plan-swap penalty of the priced config
+  Cycles batch_saving_cycles = 0;   ///< saving as a coalesced follower
+  Cycles weighting_cycles = 0;      ///< cold weighting-stage share (streamable)
+  Cycles aggregation_cycles = 0;    ///< cold remainder (cannot overlap a stream)
+};
+
+/// Answer to one CostQuery: the slot's charged timing, split into the
+/// weighting (weight-stream) and aggregation (compute) stages, plus the
+/// head request's parametric surface so serving memos can re-price the same
+/// slot at any warmth without re-running the engine. Replaces
+/// InferenceReport-returning run_cost for serving-layer callers; callers
+/// needing per-layer detail still use run().
+struct ServiceCost {
+  // -- The queried slot, charged at the query's warmth/coalesce/variant --
+  std::vector<Cycles> request_cycles;  ///< charged cycles per member, slot order
+  Cycles total_cycles = 0;             ///< slot service time (Σ members + setup)
+  Cycles serial_cycles = 0;            ///< same members serviced serially, no variant
+  Cycles weighting_cycles = 0;   ///< charged weighting-stage share (incl. setup)
+  Cycles aggregation_cycles = 0; ///< charged aggregation-stage share
+  /// The slot's stream-track work: the head's cold weighting-stage share
+  /// plus the dispatched variant's setup — what an intra-die pipeline may
+  /// overlap with the previous slot's compute (PipelineConfig).
+  Cycles stream_cycles = 0;
+  Cycles warmth_discount_cycles = 0;   ///< Σ members' (cold − warm serial)
+  Cycles weighting_saved_cycles = 0;   ///< Σ follower stream savings collected
+  std::uint32_t variant_width = 0;     ///< dispatched variant (0 = default)
+
+  // -- Head-request parametric surface (warmth-independent) --
+  ServiceCostSummary head;
+  /// The head's per-stage warmth surface (warmth_stages_of its cold run):
+  /// warm_total(f) re-prices the head's lone service at any fraction,
+  /// bit-exact with warm_total_cycles on the cold report.
+  std::vector<WarmthStage> warm_stages;
+
+  /// head.cold_cycles discounted to warm fraction `f` (exact arithmetic
+  /// order of warm_total_cycles; f = 0 returns cold, f = 1 returns
+  /// head.warm_cycles).
+  Cycles warm_total(double warm_fraction) const;
 };
 
 /// A validated (model, weights, accelerator config, cache policy) bundle.
@@ -218,12 +317,30 @@ class CompiledModel {
   /// call, so identical requests produce bit-identical outputs and reports.
   InferenceResult run(const RunRequest& request) const;
 
+  /// Prices one service slot (see CostQuery): every distinct (plan,
+  /// features) member is simulated once (runs are stateless, the in-call
+  /// memo is exact), warmth discounts each member's aggregation stages,
+  /// followers of a coalesced slot skip their weight-stream share, and the
+  /// slot is dispatched onto the cheapest plan variant (or the one the
+  /// query names). The single cost entry point: a one-request query at
+  /// warm_fraction f charges exactly run_cost(request, f).total_cycles,
+  /// and a multi-request query reproduces run_cost_batch field for field
+  /// under the default variant family.
+  ServiceCost cost(const CostQuery& query) const;
+
+  /// Convenience single-request query: cost({{&request, 1}, warm_fraction}).
+  ServiceCost cost(const RunRequest& request, double warm_fraction = 0.0) const;
+
   /// Timing-only variant of run(): the identical simulation producing the
   /// identical report, but the output matrix is dropped inside the call
   /// instead of being materialized in a result. (The values are still
   /// computed — timing is value-dependent through zero-skip and sparsity —
   /// but serving simulators that only need cycle costs avoid holding |V|×F
-  /// outputs per request.) serve::Cluster services requests through this.
+  /// outputs per request.)
+  /// DEPRECATED for cycle-cost callers: use cost(request) — it exposes the
+  /// same total plus the per-stage split without the per-layer report.
+  /// Still the right call when per-layer detail is needed without the
+  /// output matrix (scripts/lint_invariants.py flags serving-layer usage).
   InferenceReport run_cost(const RunRequest& request) const;
 
   /// Warmth-aware run_cost: the same cold simulation with fraction
@@ -232,18 +349,18 @@ class CompiledModel {
   /// DRAM-fetch time is discounted (apply_warmth_discount, core/report.hpp).
   /// warm_fraction 0 is bit-exact with run_cost(request); warm cost is
   /// never above cold cost.
+  /// DEPRECATED: use cost(request, warm_fraction) (same totals, staged).
   InferenceReport run_cost(const RunRequest& request, double warm_fraction) const;
 
   /// Timing of `requests` coalesced into one service slot. All requests
   /// must share one plan fingerprint (same graph structure; distinct plan
   /// objects of the same graph — e.g. across a plan-cache eviction — are
-  /// fine). `warm_fraction` is the share of the plan's working set resident
-  /// at slot start, applied to every member (apply_warmth_discount); the
-  /// batching discount for followers stacks on top, and the two touch
-  /// disjoint stages (aggregation vs weighting). A single request
-  /// degenerates to run_cost(request, warm_fraction) exactly. Distinct
-  /// (plan, features) pairs are simulated once and memoized within the
-  /// call (the PR-2 cost precompute: runs are stateless, the memo is exact).
+  /// fine). A single request degenerates to run_cost(request,
+  /// warm_fraction) exactly.
+  /// DEPRECATED: a thin shim over cost({requests, warm_fraction}) — the
+  /// ServiceCost it maps into a BatchCostReport carries strictly more
+  /// (per-stage split, head surface). Pinned bit-exact against the shim's
+  /// pre-cost() output under the default variant family.
   BatchCostReport run_cost_batch(std::span<const RunRequest> requests,
                                  double warm_fraction = 0.0) const;
 

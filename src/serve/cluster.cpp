@@ -42,6 +42,10 @@ Cluster::Cluster(const CompiledModel& reference, FleetSpec spec)
                   "fleet configs must match the reference warmth enablement");
     GNNIE_REQUIRE(cfg.engine.batching.max_coalesce == ref.batching.max_coalesce,
                   "fleet configs must match the reference max_coalesce");
+    GNNIE_REQUIRE(cfg.engine.pipeline.enabled == ref.pipeline.enabled,
+                  "fleet configs must match the reference pipeline enablement");
+    GNNIE_REQUIRE(cfg.engine.pipeline.variant_widths == ref.pipeline.variant_widths,
+                  "fleet configs must match the reference plan-variant widths");
     // Per-die cache policy: an explicit kind overrides the config-derived
     // default (null → Engine falls back to the deprecated booleans).
     std::shared_ptr<const CachePolicy> policy;
@@ -154,12 +158,43 @@ struct ArenaFifo {
 }  // namespace
 
 ServingReport Cluster::simulate(const RequestTrace& trace,
+                                const SimulateOptions& options) const {
+  // Resolve the policy objects once, then run the one real loop. Owned
+  // policies are stateless, so making them per call costs nothing against
+  // a simulation.
+  std::unique_ptr<Scheduler> owned_scheduler;
+  const Scheduler* scheduler = options.custom_scheduler;
+  if (scheduler == nullptr) {
+    owned_scheduler = Scheduler::make(options.scheduler);
+    scheduler = owned_scheduler.get();
+  }
+  std::unique_ptr<AdmissionPolicy> owned_admission;
+  const AdmissionPolicy* admission = options.custom_admission;
+  if (admission == nullptr) {
+    if (options.admission == AdmissionKind::kAdmitAll) {
+      admission = &AdmissionPolicy::admit_all();
+    } else {
+      owned_admission = AdmissionPolicy::make(options.admission);
+      admission = owned_admission.get();
+    }
+  }
+  return simulate_impl(trace, *scheduler, *admission);
+}
+
+// DEPRECATED shims — delegate to the one real loop, bit-exact.
+ServingReport Cluster::simulate(const RequestTrace& trace,
                                 const Scheduler& scheduler) const {
-  return simulate(trace, scheduler, AdmissionPolicy::admit_all());
+  return simulate_impl(trace, scheduler, AdmissionPolicy::admit_all());
 }
 
 ServingReport Cluster::simulate(const RequestTrace& trace, const Scheduler& scheduler,
                                 const AdmissionPolicy& admission) const {
+  return simulate_impl(trace, scheduler, admission);
+}
+
+ServingReport Cluster::simulate_impl(const RequestTrace& trace,
+                                     const Scheduler& scheduler,
+                                     const AdmissionPolicy& admission) const {
   const EngineConfig& config = model_.config();
   const WarmthConfig& wcfg = config.warmth;
   const std::uint32_t max_coalesce = config.batching.max_coalesce;
@@ -168,6 +203,21 @@ ServingReport Cluster::simulate(const RequestTrace& trace, const Scheduler& sche
   // model_ with scale 1.0 — bit-exact with the fleet-unaware simulator.
   const bool fleet = !config_models_.empty();
   const std::size_t config_count = fleet ? spec_.configs.size() : 1;
+
+  // Intra-die pipelining and the per-config plan-variant families. The
+  // fleet constructor pins enablement and widths to the reference config,
+  // so both flags are config-independent; setup costs may differ per die.
+  const bool pipeline_on = config.pipeline.enabled;
+  std::vector<std::vector<PlanVariant>> config_family;
+  config_family.reserve(config_count);
+  for (std::size_t c = 0; c < config_count; ++c) {
+    config_family.push_back(
+        plan_variant_family(fleet ? spec_.configs[c].engine : config));
+  }
+  // A family of one unbounded zero-setup variant is today's slot semantics
+  // — dispatch is a no-op and the report keeps its legacy shape.
+  const bool variants_on =
+      config_family.front().size() > 1 || config_family.front().front().width != 0;
 
   ServingReport report;
   report.dies = die_count_;
@@ -179,6 +229,16 @@ ServingReport Cluster::simulate(const RequestTrace& trace, const Scheduler& sche
   report.die_warm_hits.assign(die_count_, 0);
   report.die_plan_swaps.assign(die_count_, 0);
   report.max_coalesce = max_coalesce;
+  report.pipeline_enabled = pipeline_on;
+  if (pipeline_on) report.die_stream_cycles.assign(die_count_, 0);
+  if (variants_on) {
+    // One counter per configured width, family order — the reference
+    // family's widths (pinned across the fleet).
+    report.variant_counts.reserve(config_family.front().size());
+    for (const PlanVariant& v : config_family.front()) {
+      report.variant_counts.emplace_back(v.width, 0);
+    }
+  }
   report.slo_enabled = trace.has_slo();
   report.streams = trace.stream_count();
   report.heterogeneous = heterogeneous_;
@@ -236,14 +296,14 @@ ServingReport Cluster::simulate(const RequestTrace& trace, const Scheduler& sche
   // Lazily resolved so a stream no request ever touches is never costed
   // (matching the old per-call memo, including its fleet-mode rejection of
   // sampled plans only for streams actually served).
-  std::vector<const ServiceCost*> resolved(config_count * stream_count, nullptr);
-  auto cost_at = [&](std::size_t cfg, std::size_t s) -> const ServiceCost& {
-    const ServiceCost*& slot = resolved[cfg * stream_count + s];
+  std::vector<const CostEntry*> resolved(config_count * stream_count, nullptr);
+  auto cost_at = [&](std::size_t cfg, std::size_t s) -> const CostEntry& {
+    const CostEntry*& slot = resolved[cfg * stream_count + s];
     if (slot == nullptr) {
       const TraceStream& stream = trace.stream(s);
       const ServiceCostCache::Key key{cfg, stream.plan.get(), stream.features};
-      slot = &cost_cache_->get(key, [&]() -> ServiceCost {
-        ServiceCost entry;
+      slot = &cost_cache_->get(key, [&]() -> CostEntry {
+        CostEntry entry;
         RunRequest routed;
         routed.plan = stream.plan;
         routed.features = stream.features;
@@ -256,19 +316,19 @@ ServingReport Cluster::simulate(const RequestTrace& trace, const Scheduler& sche
         }
         entry.plan = routed.plan;
         entry.working_set = routed.plan->warm_working_set_bytes();
-        InferenceReport cold =
-            (fleet ? config_models_[cfg] : model_).run_cost(routed);
-        entry.cold = cold.total_cycles;
-        entry.warm_full =
-            wcfg.enabled ? warm_total_cycles(cold, 1.0) : cold.total_cycles;
-        entry.follower_saving = max_coalesce > 1 ? batch_follower_saved_cycles(cold) : 0;
-        if (wcfg.enabled) entry.cold_report = std::move(cold);
+        // One staged cold cost query per triple: entry.cost.head carries
+        // the cold/warm/stage-split scalars, entry.cost.warm_stages the
+        // exact per-stage warmth surface (warm_total(f) reproduces the
+        // legacy per-report discount bit-for-bit). Policy gating (warmth
+        // off, coalescing off) happens at charge/estimate time, not here —
+        // the entry is policy-independent by design.
+        entry.cost = (fleet ? config_models_[cfg] : model_).cost(routed);
         return entry;
       });
     }
     return *slot;
   };
-  auto cost_of = [&](std::size_t cfg, std::size_t idx) -> const ServiceCost& {
+  auto cost_of = [&](std::size_t cfg, std::size_t idx) -> const CostEntry& {
     return cost_at(cfg, arrivals[idx].stream);
   };
   auto fingerprint_of = [&](std::size_t idx) -> std::uint64_t {
@@ -427,18 +487,29 @@ ServingReport Cluster::simulate(const RequestTrace& trace, const Scheduler& sche
     for (std::size_t d = 0; d < die_count_; ++d) {
       const std::size_t cfg = die_config_[d];
       if (!config_ready[cfg]) {
-        const ServiceCost& cost = cost_of(cfg, idx);
+        const CostEntry& entry = cost_of(cfg, idx);
+        const ServiceCostSummary& head = entry.cost.head;
         RequestEstimate est;
         est.fingerprint = fp;
-        est.working_set_bytes = cost.working_set;
-        est.cold_cycles = scale_cycles(cost.cold, cfg);
-        est.warm_cycles = wcfg.enabled ? scale_cycles(cost.warm_full, cfg) : est.cold_cycles;
-        est.swap_penalty_cycles =
+        est.working_set_bytes = entry.working_set;
+        // The cluster owns the policy gates: the memo entry is
+        // policy-independent, the estimate reflects what this simulation
+        // will actually charge (warmth off → warm == cold, no penalty;
+        // coalescing off → no follower saving; pipeline off → no stream
+        // share). All scaled into the reference clock domain.
+        est.cost.cold_cycles = scale_cycles(head.cold_cycles, cfg);
+        est.cost.warm_cycles =
+            wcfg.enabled ? scale_cycles(head.warm_cycles, cfg) : est.cost.cold_cycles;
+        est.cost.swap_penalty_cycles =
             wcfg.enabled
                 ? scale_cycles(config_engine(cfg).warmth.plan_swap_penalty_cycles, cfg)
                 : 0;
-        est.batch_saving_cycles =
-            max_coalesce > 1 ? scale_cycles(cost.follower_saving, cfg) : 0;
+        est.cost.batch_saving_cycles =
+            max_coalesce > 1 ? scale_cycles(head.batch_saving_cycles, cfg) : 0;
+        est.cost.weighting_cycles = scale_cycles(head.weighting_cycles, cfg);
+        est.cost.aggregation_cycles = scale_cycles(head.aggregation_cycles, cfg);
+        est.pipeline_stream_cycles =
+            pipeline_on ? scale_cycles(head.weighting_cycles, cfg) : 0;
         config_estimates[cfg] = est;
         config_ready[cfg] = 1;
       }
@@ -467,6 +538,19 @@ ServingReport Cluster::simulate(const RequestTrace& trace, const Scheduler& sche
   // Routing-time service estimate of each queued request, so the die's
   // queued-backlog estimate can be released when service starts.
   std::vector<Cycles> routed_estimate(arrivals.size(), 0);
+  // Pipelining state: per-die stream-track free time (the stream port
+  // serves one slot's weights at a time — it never overlaps two slots) and
+  // each request's routing time (a slot's weight stream cannot start
+  // before the cluster knew the request would run on this die). Both are
+  // only read when pipeline_on.
+  std::vector<Cycles> stream_free(die_count_, 0);
+  std::vector<Cycles> routed_time(arrivals.size(), 0);
+  // Slot-assembly scratch (reused across slots): each member's serial
+  // charge and follower saving in the config's own clock domain.
+  std::vector<Cycles> member_service;
+  std::vector<Cycles> member_saving;
+  member_service.reserve(std::max<std::uint32_t>(1, max_coalesce));
+  member_saving.reserve(std::max<std::uint32_t>(1, max_coalesce));
   CompletionHeap completions(die_count_);
   std::size_t next_arrival = 0;
   std::size_t completed = 0;
@@ -559,39 +643,130 @@ ServingReport Cluster::simulate(const RequestTrace& trace, const Scheduler& sche
       swapped = touch.swapped;
     }
 
-    Cycles at = now;
+    // ---- Pass 1: per-member stand-alone charges --------------------------
+    // Each member's serial charge in the config's own clock domain (warmth
+    // discount and the head's swap penalty applied; no follower discount
+    // yet — that depends on the variant picked below). Warmth bookkeeping
+    // happens here, in slot order, exactly as the single-pass loop recorded
+    // it.
+    member_service.clear();
+    member_saving.clear();
     for (std::size_t i = 0; i < die.group.size(); ++i) {
       const std::size_t idx = die.group[i];
-      const ServiceCost& cost = cost_of(cfg, idx);
-      RequestRecord& rec = report.requests[idx];
-      // Charged in the config's own clock domain, scaled into reference
-      // cycles only once fully assembled (warmth discount, swap penalty,
-      // and follower saving are all config-native quantities).
-      Cycles service = cost.cold;
+      const CostEntry& entry = cost_of(cfg, idx);
+      Cycles service = entry.cost.head.cold_cycles;
       if (wcfg.enabled) {
+        RequestRecord& rec = report.requests[idx];
         const double fraction = i == 0 ? head_fraction : follower_fraction;
-        service = warm_total_cycles(cost.cold_report, fraction);
+        service = entry.cost.warm_total(fraction);
         if (i == 0 && swapped) service += die_wcfg.plan_swap_penalty_cycles;
         rec.warm_fraction = fraction;
         rec.plan_swap = i == 0 && swapped;
         report.die_warm_hits[d] += fraction > 0.0 ? 1 : 0;
         report.die_plan_swaps[d] += rec.plan_swap ? 1 : 0;
       }
+      member_service.push_back(service);
+      member_saving.push_back(entry.cost.head.batch_saving_cycles);
+    }
+
+    // ---- Variant dispatch ------------------------------------------------
+    // Pick the family member minimizing this slot's total charge (setup +
+    // every member under the variant's stream-share width). Strict
+    // improvement over the width-ordered family means the narrowest variant
+    // wins ties — deterministic in the assembled slot alone, so the same
+    // trace dispatches identically across simulate() calls and cluster
+    // copies.
+    const std::vector<PlanVariant>& family = config_family[cfg];
+    std::size_t chosen = 0;
+    if (family.size() > 1) {
+      Cycles best_total = kNever;
+      for (std::size_t v = 0; v < family.size(); ++v) {
+        Cycles total = family[v].setup_cycles;
+        for (std::size_t i = 0; i < die.group.size(); ++i) {
+          const bool rides = i > 0 && (family[v].width == 0 || i < family[v].width);
+          total += batch_member_charge(member_service[i], member_saving[i], rides);
+        }
+        if (total < best_total) {
+          best_total = total;
+          chosen = v;
+        }
+      }
+    }
+    const PlanVariant& variant = family[chosen];
+    if (variants_on) {
+      for (auto& [width, slots] : report.variant_counts) {
+        if (width == variant.width) {
+          ++slots;
+          break;
+        }
+      }
+    }
+
+    // ---- Pass 2: timeline assembly ---------------------------------------
+    // Charged in the config's own clock domain, scaled into reference
+    // cycles only once fully assembled (warmth discount, swap penalty, and
+    // follower saving are all config-native quantities).
+    Cycles at = now;
+    for (std::size_t i = 0; i < die.group.size(); ++i) {
+      const std::size_t idx = die.group[i];
+      RequestRecord& rec = report.requests[idx];
+      Cycles service = member_service[i];
       if (i > 0) {
-        // Follower: the slot's weights are already streaming; its own
-        // weighting setup share is saved (batch_member_charge — the same
-        // rule run_cost_batch prices with). The saving touches weighting
-        // stages, the warmth discount aggregation stages — disjoint.
-        const Cycles charged =
-            batch_member_charge(service, cost.follower_saving, /*follower=*/true);
-        report.weighting_cycles_saved += scale_cycles(service - charged, cfg);
+        // Follower within the variant's stream-share width: the slot's
+        // weights are already streaming; its own weighting setup share is
+        // saved (batch_member_charge — the same rule the staged cost query
+        // prices with). The saving touches weighting stages, the warmth
+        // discount aggregation stages — disjoint. Beyond the width the
+        // follower still runs in the slot but pays its own weighting.
+        const bool rides = variant.width == 0 || i < variant.width;
+        const Cycles charged = batch_member_charge(service, member_saving[i], rides);
+        if (rides) report.weighting_cycles_saved += scale_cycles(service - charged, cfg);
         service = charged;
       }
       ++report.die_requests[d];
       rec.die = d;
-      rec.start = at;
-      rec.finish = at + scale_cycles(service, cfg);
       rec.group_size = static_cast<std::uint32_t>(die.group.size());
+      rec.variant_width = variants_on ? variant.width : 0;
+      if (i == 0 && pipeline_on) {
+        // Two-track head: lay the slot's weight stream (the head's cold
+        // weighting stage plus variant setup) onto the stream track as
+        // late as possible while still ending by `now` when it can — and
+        // never before the track freed or the head was routed — then run
+        // the compute remainder from max(now, stream end). The record
+        // spans both tracks, so its service covers exactly stream +
+        // compute, and a pipelined slot never finishes later than its
+        // serial service would have.
+        service += variant.setup_cycles;  // one-time, charged to the head
+        const Cycles stream_work = std::min(
+            service, cost_of(cfg, idx).cost.head.weighting_cycles + variant.setup_cycles);
+        const Cycles stream_scaled = scale_cycles(stream_work, cfg);
+        GNNIE_AUDIT_ASSERT(stream_free[d] <= now && routed_time[idx] <= now,
+                           "stream track ran ahead of simulation time");
+        Cycles w_start = std::max(stream_free[d], routed_time[idx]);
+        Cycles w_end = w_start + stream_scaled;
+        if (w_end < now) {  // just-in-time: no idle gap inside the record
+          w_start = now - stream_scaled;
+          w_end = now;
+        }
+        GNNIE_AUDIT_ASSERT(w_start >= stream_free[d],
+                           "stream track overlapped two slots");
+        stream_free[d] = w_end;
+        const Cycles compute_begin = std::max(now, w_end);
+        report.pipeline_hidden_cycles += std::min(w_end, now) - w_start;
+        report.die_stream_cycles[d] += w_end - w_start;
+        rec.start = w_start;
+        rec.finish = compute_begin + scale_cycles(service - stream_work, cfg);
+        GNNIE_AUDIT_ASSERT(
+            rec.finish <= now + scale_cycles(service, cfg) + (fleet ? 1 : 0),
+            "pipelined slot finished later than its serial service");
+        GNNIE_AUDIT_ASSERT(rec.service_cycles() ==
+                               stream_scaled + scale_cycles(service - stream_work, cfg),
+                           "stream + compute tracks do not conserve the head's cycles");
+      } else {
+        if (i == 0) service += variant.setup_cycles;  // one-time, head-charged
+        rec.start = at;
+        rec.finish = at + scale_cycles(service, cfg);
+      }
       at = rec.finish;
     }
     if (report.batch_size_counts.size() < die.group.size()) {
@@ -613,6 +788,9 @@ ServingReport Cluster::simulate(const RequestTrace& trace, const Scheduler& sche
   // request's graph. `est` is the offer-time estimate the scheduler saw.
   auto enqueue_on_die = [&](std::size_t d, std::size_t idx, const RequestEstimate& est,
                             Cycles now) {
+    // The moment the cluster commits the request to this die — the earliest
+    // its weight stream may start when it later heads a pipelined slot.
+    routed_time[idx] = now;
     if (dies[d].busy) {
       // Queued: remember the routing-time estimate in the die's visible
       // backlog (released when service starts). Estimated before the

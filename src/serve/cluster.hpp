@@ -70,6 +70,34 @@
 // weighting-setup cycles saved. With max_coalesce = 1 every slot holds one
 // request — bit-exact with the uncoalesced simulator.
 //
+// Intra-die pipelining (EngineConfig::pipeline, default off): each die's
+// timeline splits into two overlapping resource tracks — a *stream* track
+// that fetches a slot's weights from DRAM and a *compute* track that runs
+// the slot — so while die d computes slot k it may already stream slot
+// k+1's weights. The model is retroactive and needs no new event kinds: at
+// service start the slot's weight-stream share (the head's cold weighting
+// stage plus any variant setup) is laid onto the stream track starting at
+// the later of the track's free time and the head's routing time —
+// provably never after `now` — and the compute track runs the remainder
+// from max(now, stream end). The head's record spans both tracks
+// (start = stream start), follower charges chain off the head's finish
+// exactly as in serial service, and a slot's pipelined finish never
+// exceeds its serial finish by construction. The report gains the total
+// stream cycles the pipeline hid plus per-die stream-track occupancy.
+// With pipelining disabled the serial charging path is untouched —
+// bit-exact with the single-track simulator.
+//
+// Plan variants (EngineConfig::pipeline.variant_widths, default empty):
+// plan() compiles a family of PlanVariants per graph — one per configured
+// width, wider variants paying more one-time setup but letting more
+// coalesced followers share the slot's weight stream (a follower at slot
+// position i rides only if i < width). Dispatch picks the cheapest variant
+// for each slot at assembly time (deterministic: strict improvement,
+// narrowest wins ties) and records the pick in RequestRecord::
+// variant_width plus the report's per-width slot counts. An empty width
+// list compiles the single unbounded variant with zero setup — today's
+// slot semantics, bit-exact.
+//
 // Heterogeneous fleets (serve/fleet.hpp): the FleetSpec constructor gives
 // every die its own EngineConfig. The cluster compiles the reference
 // model's (model, weights) once per distinct config, re-plans each request
@@ -78,9 +106,10 @@
 // per-(die, request) RequestEstimate vector handed to Scheduler::pick and
 // AdmissionPolicy::shed. Per-config costs are normalized into the
 // *reference* model's clock domain, keeping the simulation in one virtual
-// time base. Warmth enablement and max_coalesce must match the reference
-// config across the fleet (they are serving-protocol knobs, not die
-// properties); budgets and penalties may differ per die. Sampled
+// time base. Warmth enablement, max_coalesce, pipeline enablement, and the
+// plan-variant widths must match the reference config across the fleet
+// (they are serving-protocol knobs, not die properties); budgets,
+// penalties, and variant setup costs may differ per die. Sampled
 // (GraphSAGE) plans are rejected on fleet clusters — sampling is fresh per
 // plan() call, so a per-config re-plan could not reproduce the request's
 // sampled adjacencies. A homogeneous FleetSpec over the reference config
@@ -110,6 +139,21 @@ namespace gnnie::serve {
 
 class ServiceCostCache;
 
+/// Options for Cluster::simulate, designed for designated initializers:
+/// `cluster.simulate(trace, {.scheduler = SchedulerKind::kWarmthAware})`.
+/// The default-constructed value reproduces the historical two-argument
+/// FIFO/admit-all behavior exactly. The custom_* pointers override the
+/// corresponding kind when non-null (for caller-owned policy objects, e.g.
+/// a scheduler shared across sweep cells); the pointee must outlive the
+/// simulate call. This is the one simulate entry point — the positional
+/// scheduler/admission overloads are deprecated shims over it.
+struct SimulateOptions {
+  SchedulerKind scheduler = SchedulerKind::kFifo;
+  AdmissionKind admission = AdmissionKind::kAdmitAll;
+  const Scheduler* custom_scheduler = nullptr;
+  const AdmissionPolicy* custom_admission = nullptr;
+};
+
 class Cluster {
  public:
   /// `dies` independent engine instances over one compiled model.
@@ -121,7 +165,8 @@ class Cluster {
   /// that config's *default-derived* cache policy; a custom CachePolicy
   /// handed to the reference Engine does not propagate to fleet configs.
   /// Throws unless the spec validates and every config matches the
-  /// reference's warmth enablement and max_coalesce.
+  /// reference's warmth enablement, max_coalesce, pipeline enablement, and
+  /// plan-variant widths (all serving-protocol knobs).
   Cluster(const CompiledModel& reference, FleetSpec spec);
 
   std::size_t die_count() const { return die_count_; }
@@ -131,13 +176,21 @@ class Cluster {
   bool heterogeneous() const { return heterogeneous_; }
   double fleet_cost() const { return spec_.total_cost(); }
 
-  /// Runs the trace through the scheduler over this cluster and returns the
-  /// per-request records plus the tail-latency/utilization/SLO rollup.
-  /// Admits everything (AdmissionPolicy::admit_all).
+  /// Runs the trace over this cluster and returns the per-request records
+  /// plus the tail-latency/utilization/SLO rollup. Scheduling and admission
+  /// come from `options` (default: FIFO, admit-all — byte-identical to the
+  /// historical simulate(trace, scheduler) overloads with those policies).
+  ServingReport simulate(const RequestTrace& trace,
+                         const SimulateOptions& options = {}) const;
+
+  /// DEPRECATED shim: equivalent to simulate(trace, {.custom_scheduler =
+  /// &scheduler}). Kept bit-exact for existing callers; new code uses the
+  /// SimulateOptions overload.
   ServingReport simulate(const RequestTrace& trace, const Scheduler& scheduler) const;
 
-  /// As above, but every offer passes `admission` first; shed requests are
-  /// terminally dropped and recorded with RequestRecord::shed.
+  /// DEPRECATED shim: equivalent to simulate(trace, {.custom_scheduler =
+  /// &scheduler, .custom_admission = &admission}). Kept bit-exact for
+  /// existing callers; new code uses the SimulateOptions overload.
   ServingReport simulate(const RequestTrace& trace, const Scheduler& scheduler,
                          const AdmissionPolicy& admission) const;
 
@@ -147,6 +200,11 @@ class Cluster {
   std::size_t costed_triples() const;
 
  private:
+  /// The one real simulation loop; every public simulate overload resolves
+  /// its policies and lands here.
+  ServingReport simulate_impl(const RequestTrace& trace, const Scheduler& scheduler,
+                              const AdmissionPolicy& admission) const;
+
   CompiledModel model_;
   std::size_t die_count_;
   FleetSpec spec_;

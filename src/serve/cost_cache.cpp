@@ -24,7 +24,7 @@ std::size_t ServiceCostCache::hash(const Key& key) {
   return static_cast<std::size_t>(h);
 }
 
-const ServiceCost* ServiceCostCache::find_locked(const Key& key) const {
+const CostEntry* ServiceCostCache::find_locked(const Key& key) const {
   const std::size_t mask = slots_.size() - 1;
   for (std::size_t i = hash(key) & mask;; i = (i + 1) & mask) {
     const Slot& slot = slots_[i];

@@ -11,7 +11,7 @@
 //
 // The table is a small open-addressing flat hash map (power-of-two slots,
 // linear probing) over deque-backed entries, so lookups touch one cache
-// line of slot metadata and returned ServiceCost pointers stay stable
+// line of slot metadata and returned CostEntry pointers stay stable
 // across growth. Fills take a mutex — concurrent simulate() calls on one
 // cluster are safe, and holding the lock across compute() also serializes
 // the per-config re-plan a fleet fill performs. Hits after the table is
@@ -33,25 +33,25 @@
 namespace gnnie::serve {
 
 /// Memoized per-(die config, plan, features) service data. Everything in
-/// here is WARMTH-INDEPENDENT by design: the entry stores the cold report
-/// (and values derived from it alone), never a warm-discounted charge —
-/// warm fractions vary per service and are applied outside the cache
-/// (warm_total_cycles at service start), so warm and cold services of the
-/// same request are charged differently even though they share this entry.
-/// All cycles are in the CONFIG'S OWN clock domain — callers scale into
-/// reference cycles at charge/estimate time.
-struct ServiceCost {
+/// here is WARMTH-INDEPENDENT by design: the entry stores the request's
+/// staged cost surface (gnnie::ServiceCost of a lone cold query — per-stage
+/// splits, follower saving, and the per-stage warmth surface), never a
+/// warm-discounted charge — warm fractions vary per service and are applied
+/// outside the cache (cost.warm_total(f) at service start), so warm and
+/// cold services of the same request are charged differently even though
+/// they share this entry. All cycles are in the CONFIG'S OWN clock domain —
+/// callers scale into reference cycles at charge/estimate time.
+struct CostEntry {
   /// The plan the costed run used: the request's own plan on a homogeneous
   /// cluster, the per-config re-plan of its graph on a fleet (held here so
   /// a fleet's plans outlive the plan cache).
   GraphPlanPtr plan;
-  Bytes working_set = 0;        ///< plan->warm_working_set_bytes()
-  InferenceReport cold_report;  ///< empty when warmth is disabled
-  Cycles cold = 0;
-  Cycles warm_full = 0;  ///< cold minus the full warm discount (== cold when disabled)
-  /// Cycles a coalesced follower of this request saves (0 when coalescing
-  /// is off; weighting stages only, so warmth-independent too).
-  Cycles follower_saving = 0;
+  Bytes working_set = 0;  ///< plan->warm_working_set_bytes()
+  /// Staged surface of a lone cold service of this triple
+  /// (CompiledModel::cost on the routed request): cost.head carries
+  /// cold/warm/stage-split scalars, cost.warm_stages re-prices any warmth,
+  /// cost.head.batch_saving_cycles the follower saving.
+  ServiceCost cost;
 };
 
 class ServiceCostCache {
@@ -76,9 +76,9 @@ class ServiceCostCache {
   /// plan() call). The returned reference is stable for the cache's
   /// lifetime.
   template <typename Compute>
-  const ServiceCost& get(const Key& key, Compute&& compute) {
+  const CostEntry& get(const Key& key, Compute&& compute) {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (const ServiceCost* hit = find_locked(key)) return *hit;
+    if (const CostEntry* hit = find_locked(key)) return *hit;
     entries_.push_back(compute());
     insert_locked(key, entries_.size() - 1);
     return entries_.back();
@@ -108,12 +108,12 @@ class ServiceCostCache {
     std::uint32_t index_plus_one = 0;  ///< 0 = empty
   };
 
-  const ServiceCost* find_locked(const Key& key) const;
+  const CostEntry* find_locked(const Key& key) const;
   void insert_locked(const Key& key, std::size_t index);
   void grow_locked();
 
-  std::vector<Slot> slots_;          ///< power-of-two, linear probing
-  std::deque<ServiceCost> entries_;  ///< stable addresses across growth
+  std::vector<Slot> slots_;        ///< power-of-two, linear probing
+  std::deque<CostEntry> entries_;  ///< stable addresses across growth
   mutable std::mutex mutex_;
 };
 

@@ -11,25 +11,25 @@ namespace {
 
 /// Warmth component of the routing-time estimate (no coalescing applied).
 Cycles estimate_warmth_service(const DieStatus& die, const RequestEstimate& estimate) {
-  if (die.warmth == nullptr) return estimate.cold_cycles;  // warmth disabled
+  if (die.warmth == nullptr) return estimate.cost.cold_cycles;  // warmth disabled
   if (die.warmth->is_resident(estimate.fingerprint)) {
     // Interpolate cold → fully-warm by the resident fraction: a working
     // set larger than the die budget is truncated on load, so residency
     // can be partial and the die is slower than its fully-warm estimate.
     const double f =
         die.warmth->warm_fraction(estimate.fingerprint, estimate.working_set_bytes);
-    const Cycles saving = estimate.cold_cycles - estimate.warm_cycles;
-    return estimate.cold_cycles -
+    const Cycles saving = estimate.cost.cold_cycles - estimate.cost.warm_cycles;
+    return estimate.cost.cold_cycles -
            static_cast<Cycles>(f * static_cast<double>(saving));
   }
   // The last plan routed here will be resident by the time the queue
   // drains — treat it as warm-to-be.
-  if (die.affinity_fingerprint == estimate.fingerprint) return estimate.warm_cycles;
+  if (die.affinity_fingerprint == estimate.fingerprint) return estimate.cost.warm_cycles;
   // Cold on this die; displacing resident state also costs the swap
   // penalty. (A die with spare budget may not actually swap — this is a
   // routing-time upper estimate, not the charge.)
-  return estimate.cold_cycles +
-         (die.warmth->resident_bytes() > 0 ? estimate.swap_penalty_cycles : 0);
+  return estimate.cost.cold_cycles +
+         (die.warmth->resident_bytes() > 0 ? estimate.cost.swap_penalty_cycles : 0);
 }
 
 }  // namespace
@@ -42,7 +42,15 @@ Cycles estimate_die_service(const DieStatus& die, const RequestEstimate& estimat
     // rides it as a coalesced follower, its own weighting setup amortized
     // away. Lives here — not in individual schedulers — so pick() and the
     // cluster's queued-backlog accounting price the ride identically.
-    service -= std::min(service, estimate.batch_saving_cycles);
+    service -= std::min(service, estimate.cost.batch_saving_cycles);
+  }
+  if (estimate.pipeline_stream_cycles > 0 && (die.busy || die.queue_depth > 0)) {
+    // Intra-die pipelining: a slot that starts behind other work overlaps
+    // its weight stream with the predecessor's compute, so the service the
+    // die visibly adds shrinks by the stream-track share. Only filled when
+    // EngineConfig::pipeline is on, so pipeline-off estimates are
+    // untouched.
+    service -= std::min(service, estimate.pipeline_stream_cycles);
   }
   return service;
 }

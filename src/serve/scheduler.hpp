@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "core/serving.hpp"
 #include "serve/trace.hpp"
 
 namespace gnnie::serve {
@@ -93,14 +94,20 @@ struct DieStatus {
 };
 
 /// Cluster-computed service-cost estimate handed to pick() alongside each
-/// request: the cold cost, the fully-warm cost, and the plan-swap penalty.
-/// With the warmth model disabled, warm == cold and the penalty is 0.
+/// request: the request's staged ServiceCostSummary on the estimated die's
+/// config plus the routing metadata (plan identity, per-die coalescing
+/// opportunity) the summary cannot know. The cluster owns the policy
+/// gates when it fills the summary: with the warmth model disabled
+/// cost.warm_cycles == cost.cold_cycles and the swap penalty is 0; with
+/// coalescing off cost.batch_saving_cycles is 0.
 struct RequestEstimate {
+  /// Staged per-request cost on this die's config (gnnie::ServiceCostSummary
+  /// — cold/warm/swap/stage split/follower saving), scaled into the
+  /// reference clock domain. Schedulers read costs from here instead of
+  /// recomputing discounts.
+  ServiceCostSummary cost;
   std::uint64_t fingerprint = 0;
   Bytes working_set_bytes = 0;
-  Cycles cold_cycles = 0;
-  Cycles warm_cycles = 0;
-  Cycles swap_penalty_cycles = 0;
   /// The same-plan backlog THIS die's next slot could actually drain: 1 +
   /// the same-plan requests waiting in this die's own queue plus the
   /// global queue, capped at EngineConfig::batching.max_coalesce. Per-die
@@ -111,9 +118,12 @@ struct RequestEstimate {
   /// gate paired with DieStatus::queue_head_fingerprint. Always 1 with
   /// coalescing off.
   std::uint32_t coalesce_count = 1;
-  /// Cycles this request would save if serviced as a coalesced follower
-  /// instead of alone (batch_follower_saved_cycles; 0 with coalescing off).
-  Cycles batch_saving_cycles = 0;
+  /// Stream-track cycles of a slot headed by this request (scaled), filled
+  /// only when intra-die pipelining is enabled (EngineConfig::pipeline):
+  /// the share of its service a busy die would overlap with its current
+  /// slot's compute. 0 keeps estimates bit-exact with the pipeline-unaware
+  /// scheduler.
+  Cycles pipeline_stream_cycles = 0;
 };
 
 /// Routing-time service estimate of a request on one die: the warm cost if

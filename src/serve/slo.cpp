@@ -29,7 +29,7 @@ struct ShedHopelessPolicy final : AdmissionPolicy {
     // this race is hopeless; finishing exactly on the deadline still meets
     // it, so zero-slack requests are admitted.
     Cycles best = std::numeric_limits<Cycles>::max();
-    for (const RequestEstimate& e : estimates) best = std::min(best, e.warm_cycles);
+    for (const RequestEstimate& e : estimates) best = std::min(best, e.cost.warm_cycles);
     return now + best > request.deadline;
   }
 };

@@ -327,9 +327,9 @@ TEST(BatchingScheduler, WarmthAwarePrefersTheDieWhoseHeadOfLinePlanMatches) {
   TracedRequest request;  // warmth-aware ignores the request itself
   RequestEstimate est;
   est.fingerprint = 42;
-  est.cold_cycles = 1000;
-  est.warm_cycles = 1000;
-  est.batch_saving_cycles = 200;
+  est.cost.cold_cycles = 1000;
+  est.cost.warm_cycles = 1000;
+  est.cost.batch_saving_cycles = 200;
 
   std::vector<DieStatus> dies(2);
   for (DieStatus& d : dies) {
@@ -389,7 +389,7 @@ TEST(BatchingScheduler, EstimateCarriesTheDrainableOpportunity) {
     std::size_t pick(const TracedRequest&, std::span<const RequestEstimate> ests,
                      std::span<const DieStatus> dies, Cycles) const override {
       max_seen = std::max(max_seen, ests[0].coalesce_count);
-      saving_seen = std::max(saving_seen, ests[0].batch_saving_cycles);
+      saving_seen = std::max(saving_seen, ests[0].cost.batch_saving_cycles);
       for (std::size_t d = 0; d < dies.size(); ++d) {
         if (!dies[d].busy && dies[d].queue_depth == 0) return d;
       }
@@ -439,9 +439,9 @@ TEST(BatchingScheduler, NoRideDiscountWithoutADrainableWaiter) {
   // full service: the discount would be a phantom saving.
   RequestEstimate est;
   est.fingerprint = 77;
-  est.cold_cycles = 1000;
-  est.warm_cycles = 1000;
-  est.batch_saving_cycles = 200;
+  est.cost.cold_cycles = 1000;
+  est.cost.warm_cycles = 1000;
+  est.cost.batch_saving_cycles = 200;
   DieStatus die;
   die.queue_head_fingerprint = 77;
   est.coalesce_count = 1;

@@ -21,11 +21,11 @@ using Key = ServiceCostCache::Key;
 /// make arbitrarily many distinct keys without building plans.
 Key key_of(std::size_t config) { return Key{config, nullptr, nullptr}; }
 
-/// A ServiceCost carrying `tag` so a hit is distinguishable from a recompute.
-ServiceCost cost_with(Cycles tag) {
-  ServiceCost c;
-  c.cold = tag;
-  return c;
+/// A CostEntry carrying `tag` so a hit is distinguishable from a recompute.
+CostEntry cost_with(Cycles tag) {
+  CostEntry e;
+  e.cost.head.cold_cycles = tag;
+  return e;
 }
 
 TEST(CostCache, CollisionChainResolvesDistinctKeysInOneBucket) {
@@ -54,11 +54,11 @@ TEST(CostCache, CollisionChainResolvesDistinctKeysInOneBucket) {
   // Every key in the chain resolves to its own entry, and a re-get walks
   // the probe chain to a hit instead of recomputing.
   for (std::size_t c : colliding) {
-    const ServiceCost& entry = cache.get(key_of(c), [&] {
+    const CostEntry& entry = cache.get(key_of(c), [&] {
       ++computes;
       return cost_with(0);
     });
-    EXPECT_EQ(entry.cold, static_cast<Cycles>(1000 + c));
+    EXPECT_EQ(entry.cost.head.cold_cycles, static_cast<Cycles>(1000 + c));
   }
   EXPECT_EQ(computes, colliding.size());
 }
@@ -79,17 +79,17 @@ TEST(CostCache, GrowsAtTwoThirdsLoadAndRehashesLosslessly) {
   EXPECT_EQ(cache.size(), 42u);
   // Rehash kept every entry reachable under the new mask — no recomputes.
   for (std::size_t c = 0; c < 42; ++c) {
-    const ServiceCost& entry = cache.get(key_of(c), [&]() -> ServiceCost {
+    const CostEntry& entry = cache.get(key_of(c), [&]() -> CostEntry {
       ADD_FAILURE() << "key " << c << " recomputed after rehash";
       return cost_with(0);
     });
-    EXPECT_EQ(entry.cold, static_cast<Cycles>(c));
+    EXPECT_EQ(entry.cost.head.cold_cycles, static_cast<Cycles>(c));
   }
 }
 
 TEST(CostCache, EntryPointersStayStableAcrossGrowth) {
   ServiceCostCache cache;
-  std::vector<const ServiceCost*> early;
+  std::vector<const CostEntry*> early;
   for (std::size_t c = 0; c < 30; ++c) {
     early.push_back(
         &cache.get(key_of(c), [&] { return cost_with(static_cast<Cycles>(c)); }));
@@ -103,7 +103,7 @@ TEST(CostCache, EntryPointersStayStableAcrossGrowth) {
   // growth still hold their values and are what lookups return today —
   // the guarantee simulate()'s per-run raw-pointer resolution leans on.
   for (std::size_t c = 0; c < early.size(); ++c) {
-    EXPECT_EQ(early[c]->cold, static_cast<Cycles>(c));
+    EXPECT_EQ(early[c]->cost.head.cold_cycles, static_cast<Cycles>(c));
     EXPECT_EQ(early[c], &cache.get(key_of(c), [&] { return cost_with(0); }));
   }
 }
@@ -114,8 +114,8 @@ TEST(CostCache, ConcurrentDuplicateKeyFillComputesEachKeyOnce) {
   constexpr std::size_t kThreads = 8;
   std::vector<std::atomic<int>> computes(kKeys);
   for (auto& c : computes) c.store(0);
-  std::vector<std::vector<const ServiceCost*>> seen(
-      kThreads, std::vector<const ServiceCost*>(kKeys, nullptr));
+  std::vector<std::vector<const CostEntry*>> seen(
+      kThreads, std::vector<const CostEntry*>(kKeys, nullptr));
 
   std::vector<std::thread> threads;
   threads.reserve(kThreads);
@@ -140,7 +140,7 @@ TEST(CostCache, ConcurrentDuplicateKeyFillComputesEachKeyOnce) {
     for (std::size_t t = 1; t < kThreads; ++t) {
       EXPECT_EQ(seen[t][c], seen[0][c]) << "threads saw different entries for key " << c;
     }
-    EXPECT_EQ(seen[0][c]->cold, static_cast<Cycles>(c));
+    EXPECT_EQ(seen[0][c]->cost.head.cold_cycles, static_cast<Cycles>(c));
   }
 }
 

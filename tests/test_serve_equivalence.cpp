@@ -219,13 +219,14 @@ ServingReport ReferenceCluster::simulate(const RequestTrace& trace,
         RequestEstimate est;
         est.fingerprint = fp;
         est.working_set_bytes = cost.working_set;
-        est.cold_cycles = scale_cycles(cost.cold, cfg);
-        est.warm_cycles = wcfg.enabled ? scale_cycles(cost.warm_full, cfg) : est.cold_cycles;
-        est.swap_penalty_cycles =
+        est.cost.cold_cycles = scale_cycles(cost.cold, cfg);
+        est.cost.warm_cycles =
+            wcfg.enabled ? scale_cycles(cost.warm_full, cfg) : est.cost.cold_cycles;
+        est.cost.swap_penalty_cycles =
             wcfg.enabled
                 ? scale_cycles(config_engine(cfg).warmth.plan_swap_penalty_cycles, cfg)
                 : 0;
-        est.batch_saving_cycles =
+        est.cost.batch_saving_cycles =
             max_coalesce > 1 ? scale_cycles(cost.follower_saving, cfg) : 0;
         config_estimates[cfg] = est;
         config_ready[cfg] = 1;
@@ -517,6 +518,45 @@ void run_matrix_cell(bool warmth, std::uint32_t max_coalesce, bool fleet) {
         const ServingReport want = reference->simulate(*trace, *scheduler, *admission);
         expect_reports_identical(got, want);
       }
+    }
+  }
+}
+
+// A config that *carries* the pipeline block — disabled, with the default
+// single-variant family — must stay bit-exact with the pipeline-unaware
+// reference across every scheduler and admission policy; and routing the
+// production side through the SimulateOptions entry point must change
+// nothing either. Guards the ISSUE's default-off contract even if the
+// config defaults ever move.
+TEST(ServeEquivalence, PipelineOffAndDefaultFamilyAreBitExact) {
+  EngineConfig config = matrix_config(true, 8);
+  config.pipeline.enabled = false;
+  config.pipeline.variant_widths = {};
+  config.pipeline.variant_setup_cycles = 999;  // irrelevant with the default family
+  ServeFixture f(config);
+  const Cycles cost_a =
+      f.compiled.cost(RunRequest{f.plan_a, &f.a.features}).total_cycles;
+  serve::TraceStream a = f.stream_a();
+  a.weight = 3.0;
+  a.slo_cycles = static_cast<std::int64_t>(3 * cost_a / 2);
+  const RequestTrace trace = RequestTrace::poisson(
+      {a, f.stream_b()}, 60, static_cast<double>(cost_a) / 6.0, 7);
+  Cluster cluster(f.compiled, 4);
+  ReferenceCluster reference(f.compiled, 4);
+  for (SchedulerKind kind : serve::all_scheduler_kinds()) {
+    const auto scheduler = Scheduler::make(kind);
+    for (AdmissionKind admission_kind :
+         {AdmissionKind::kAdmitAll, AdmissionKind::kShedHopeless}) {
+      const auto admission = AdmissionPolicy::make(admission_kind);
+      SCOPED_TRACE(std::string(serve::to_string(kind)) + " / " +
+                   serve::to_string(admission_kind));
+      const ServingReport got = cluster.simulate(
+          trace, {.custom_scheduler = scheduler.get(),
+                  .custom_admission = admission.get()});
+      const ServingReport want = reference.simulate(trace, *scheduler, *admission);
+      expect_reports_identical(got, want);
+      EXPECT_FALSE(got.pipeline_enabled);
+      EXPECT_TRUE(got.variant_counts.empty());
     }
   }
 }
